@@ -1,0 +1,123 @@
+//===- bench/bench_micro.cpp - Engineering micro-benchmarks ----------------===//
+//
+// google-benchmark measurements of the repository's own machinery: the
+// functional emulator, the coupled emulator+timing pipeline, the
+// compilation pipeline, and the PDG/analysis front end. These guard the
+// experiment harness's wall-clock budget rather than reproducing a paper
+// figure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Measure.h"
+#include "core/Pipeline.h"
+#include "workloads/PaperLoops.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace flexvec;
+using namespace flexvec::workloads;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ir::LoopFunction> F = buildH264Loop();
+  core::PipelineResult PR = core::compileLoop(*F);
+  LoopInputs In;
+  Fixture() {
+    Rng R(31);
+    In = genH264Inputs(*F, R, 20000, 0.02);
+  }
+};
+
+Fixture &fixture() {
+  static Fixture Fx;
+  return Fx;
+}
+
+void BM_EmulatorScalar(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    core::RunOutcome Out =
+        core::runProgram(Fx.PR.Scalar, Fx.In.Image, Fx.In.B);
+    Instrs += Out.Exec.Stats.Instructions;
+    benchmark::DoNotOptimize(Out.MemFingerprint);
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+
+void BM_EmulatorFlexVec(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    core::RunOutcome Out =
+        core::runProgram(*Fx.PR.FlexVec, Fx.In.Image, Fx.In.B);
+    Instrs += Out.Exec.Stats.Instructions;
+    benchmark::DoNotOptimize(Out.MemFingerprint);
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+
+void BM_EmulatorPlusTimingModel(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    core::Measurement M =
+        core::measureProgram(*Fx.PR.FlexVec, Fx.In.Image, Fx.In.B);
+    Instrs += M.Timing.Instructions;
+    benchmark::DoNotOptimize(M.Timing.Cycles);
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+
+void BM_ReferenceInterpreter(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Iters = 0;
+  for (auto _ : State) {
+    core::RunOutcome Out = core::runReference(*Fx.F, Fx.In.Image, Fx.In.B);
+    benchmark::DoNotOptimize(Out.MemFingerprint);
+    Iters += 20000;
+  }
+  State.counters["loop-iters/s"] = benchmark::Counter(
+      static_cast<double>(Iters), benchmark::Counter::kIsRate);
+}
+
+void BM_CompilePipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    auto F = buildH264Loop();
+    core::PipelineResult PR = core::compileLoop(*F);
+    benchmark::DoNotOptimize(PR.FlexVec->Prog.size());
+  }
+}
+
+void BM_PdgAndAnalysis(benchmark::State &State) {
+  auto F = buildH264Loop();
+  for (auto _ : State) {
+    pdg::Pdg P(*F);
+    analysis::VectorizationPlan Plan = analysis::analyzeLoop(P);
+    benchmark::DoNotOptimize(Plan.Vectorizable);
+  }
+}
+
+void BM_MemoryClone(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  for (auto _ : State) {
+    mem::Memory M = Fx.In.Image.clone();
+    benchmark::DoNotOptimize(M.numPages());
+  }
+}
+
+BENCHMARK(BM_EmulatorScalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EmulatorFlexVec)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EmulatorPlusTimingModel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReferenceInterpreter)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PdgAndAnalysis)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryClone)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

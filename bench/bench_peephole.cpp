@@ -1,0 +1,81 @@
+//===- bench/bench_peephole.cpp - Downstream-pass ablation ------------------===//
+//
+// Section 3.7 argues the FlexVec intrinsic representation keeps the
+// generated partial vector code amenable to "the down-stream passes of
+// the compiler", and Section 4.2 applies redundant code elimination to
+// the VPL (Figure 6(f)). This ablation measures what those passes are
+// worth on the generated code: for each benchmark kernel class, cycles of
+// the raw FlexVec program vs the peephole-optimized one (loop-invariant
+// code motion + local CSE + dead code elimination), plus the static
+// instruction counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Measure.h"
+#include "core/Pipeline.h"
+#include "support/Table.h"
+#include "workloads/Benchmarks.h"
+
+#include <cstdio>
+
+using namespace flexvec;
+using namespace flexvec::workloads;
+
+int main() {
+  std::printf("Downstream-pass ablation: raw vs optimized partial vector "
+              "code (Sections 3.7 / 4.2)\n\n");
+
+  struct Case {
+    const char *Name;
+    std::unique_ptr<ir::LoopFunction> F;
+    BenchInstance In;
+  };
+  std::vector<Case> Cases;
+  {
+    Case C{"cond-update (h264ref)", buildH264Loop(), {}};
+    Rng R(41);
+    C.In = genCondGatherInputs(*C.F, R, 20000, 2, 0.02);
+    Cases.push_back(std::move(C));
+  }
+  {
+    Case C{"conflict (scatter f32)",
+           buildScatterAccumLoop("ablate_scatter", true, 2), {}};
+    Rng R(42);
+    C.In = genScatterAccumInputs(*C.F, R, 20000, 2, 0.02, 4096, true, 2);
+    Cases.push_back(std::move(C));
+  }
+  {
+    Case C{"argmin (int, extra=2)",
+           buildArgExtremeLoop("ablate_argmin", false, 2, false), {}};
+    Rng R(43);
+    C.In = genArgExtremeInputs(*C.F, R, 20000, 2, 0.02, false, 2, false);
+    Cases.push_back(std::move(C));
+  }
+
+  TextTable T({"kernel", "static instrs (raw)", "static instrs (opt)",
+               "passes", "cycles (raw)", "cycles (opt)", "gain",
+               "correct"});
+  for (Case &C : Cases) {
+    core::PipelineResult PR = core::compileLoop(*C.F);
+    sim::OooCore RawCore, OptCore;
+    core::RunOutcome RawOut = core::runProgramMulti(
+        *C.F, *PR.FlexVec, C.In.Image, C.In.Invocations, &RawCore);
+    core::RunOutcome OptOut = core::runProgramMulti(
+        *C.F, *PR.FlexVecOpt, C.In.Image, C.In.Invocations, &OptCore);
+    bool Correct = core::outcomesMatch(*C.F, RawOut, OptOut);
+    double Gain = static_cast<double>(RawCore.stats().Cycles) /
+                  static_cast<double>(OptCore.stats().Cycles);
+    T.addRow({C.Name, std::to_string(PR.FlexVec->Prog.size()),
+              std::to_string(PR.FlexVecOpt->Prog.size()),
+              PR.OptStats.describe(),
+              TextTable::fmtInt(static_cast<long long>(RawCore.stats().Cycles)),
+              TextTable::fmtInt(static_cast<long long>(OptCore.stats().Cycles)),
+              TextTable::fmt(Gain, 3) + "x", Correct ? "yes" : "NO"});
+  }
+  T.print();
+  std::printf("\nThe headline Figure 8 numbers use the *raw* FlexVec code; "
+              "these passes are the additional headroom a production\n"
+              "compiler's downstream pipeline would claim, enabled by the "
+              "concise intrinsic representation (Section 3.7).\n");
+  return 0;
+}

@@ -1,0 +1,449 @@
+//===- codegen/Generators.cpp ---------------------------------------------===//
+
+#include "codegen/Generators.h"
+
+#include "codegen/ScalarCodeGen.h"
+#include "codegen/VectorEmitter.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::codegen;
+using namespace flexvec::ir;
+using namespace flexvec::isa;
+using flexvec::analysis::VectorizationPlan;
+
+namespace {
+
+Reg tripReg(const LoopFunction &F) {
+  return scalarParamReg(F.tripCountScalar());
+}
+
+/// Scalars read by \p E.
+void scalarReadsOf(const Expr *E, std::vector<int> &Out) {
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+  case ExprKind::ConstFloat:
+  case ExprKind::IndexRef:
+    return;
+  case ExprKind::ScalarRef:
+    Out.push_back(E->ScalarId);
+    return;
+  case ExprKind::ArrayRef:
+    scalarReadsOf(E->Index, Out);
+    return;
+  case ExprKind::Binary:
+  case ExprKind::Compare:
+  case ExprKind::LogicalAnd:
+    scalarReadsOf(E->Lhs, Out);
+    scalarReadsOf(E->Rhs, Out);
+    return;
+  }
+}
+
+void assignedIn(const std::vector<Stmt *> &Stmts, std::vector<bool> &Set) {
+  for (const Stmt *S : Stmts) {
+    if (S->Kind == StmtKind::AssignScalar)
+      Set[S->ScalarId] = true;
+    if (S->Kind == StmtKind::If) {
+      assignedIn(S->Then, Set);
+      assignedIn(S->Else, Set);
+    }
+  }
+}
+
+bool containsStmt(const Stmt *Root, int Id) {
+  if (Root->Id == Id)
+    return true;
+  if (Root->Kind != StmtKind::If)
+    return false;
+  for (const Stmt *C : Root->Then)
+    if (containsStmt(C, Id))
+      return true;
+  for (const Stmt *C : Root->Else)
+    if (containsStmt(C, Id))
+      return true;
+  return false;
+}
+
+bool hasStoreIn(const std::vector<Stmt *> &Stmts) {
+  for (const Stmt *S : Stmts) {
+    if (S->Kind == StmtKind::StoreArray)
+      return true;
+    if (S->Kind == StmtKind::If &&
+        (hasStoreIn(S->Then) || hasStoreIn(S->Else)))
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+// --- Traditional ----------------------------------------------------------===//
+
+std::optional<CompiledLoop>
+codegen::generateTraditional(const LoopFunction &F,
+                             const VectorizationPlan &Plan) {
+  if (!Plan.Vectorizable || Plan.needsFlexVec())
+    return std::nullopt; // Exactly the loops the baseline cannot vectorize.
+
+  CompiledLoop Out;
+  Out.Kind = CodeGenKind::Traditional;
+  ProgramBuilder B;
+  VectorEmitter::Options Opts;
+  Opts.UseFirstFaulting = false;
+  VectorEmitter Em(B, F, Plan, Opts);
+
+  ProgramBuilder::Label VecLoop = B.createLabel();
+  ProgramBuilder::Label VecExit = B.createLabel();
+  Reg T = Reg::scalar(25);
+
+  Em.emitPreheader();
+  B.bind(VecLoop);
+  B.cmp(T, CmpKind::LT, inductionReg(), tripReg(F));
+  B.brZero(T, VecExit);
+  Em.emitChunkProlog(tripReg(F));
+  Em.emitBody();
+  Em.emitChunkEpilog();
+  B.jmp(VecLoop);
+  B.bind(VecExit);
+  Em.emitLiveOuts();
+  B.halt();
+
+  Out.Prog = B.finalize();
+  Out.Notes = "traditional masked vectorization; " + Em.notes();
+  return Out;
+}
+
+// --- FlexVec ---------------------------------------------------------------===//
+
+std::optional<CompiledLoop>
+codegen::generateFlexVec(const LoopFunction &F,
+                         const VectorizationPlan &Plan) {
+  if (!Plan.Vectorizable)
+    return std::nullopt;
+
+  bool HasSpec = !Plan.SpeculativeLoadNodes.empty();
+  if (HasSpec && !Plan.Reductions.empty())
+    fatalError("reductions combined with speculative loads are unsupported "
+               "(the scalar fallback cannot undo optimistic accumulation)");
+
+  CompiledLoop Out;
+  Out.Kind = CodeGenKind::FlexVec;
+  ProgramBuilder B;
+  ProgramBuilder::Label VecLoop = B.createLabel();
+  ProgramBuilder::Label VecExit = B.createLabel();
+  ProgramBuilder::Label HaltL = B.createLabel();
+  ProgramBuilder::Label ScalarEntry = B.createLabel();
+
+  VectorEmitter::Options Opts;
+  Opts.UseFirstFaulting = true;
+  Opts.HasFaultBail = HasSpec;
+  Opts.FaultBail = ScalarEntry;
+  VectorEmitter Em(B, F, Plan, Opts);
+  Reg T = Reg::scalar(25);
+
+  Em.emitPreheader();
+  B.bind(VecLoop);
+  B.cmp(T, CmpKind::LT, inductionReg(), tripReg(F));
+  B.brZero(T, VecExit);
+  Em.emitChunkProlog(tripReg(F));
+  Em.emitBody();
+  Em.emitChunkEpilog();
+  if (!Plan.EarlyExits.empty())
+    B.brNonZero(Em.breakFlag(), VecExit).Comment = "a lane broke: stop";
+  B.jmp(VecLoop);
+
+  B.bind(VecExit);
+  Em.emitLiveOuts();
+  B.jmp(HaltL);
+
+  // Scalar fallback: re-executes from the current chunk start with the
+  // chunk-entry scalar state (no side effects have committed when a
+  // first-faulting check bails).
+  B.bind(ScalarEntry);
+  emitScalarLoopBody(B, F, tripReg(F), HaltL);
+
+  B.bind(HaltL);
+  B.halt();
+
+  Out.Prog = B.finalize();
+  Out.Notes = "FlexVec partial vector code; " + Em.notes() +
+              (HasSpec ? "; first-faulting loads with scalar fallback" : "");
+  return Out;
+}
+
+// --- FlexVec over RTM -------------------------------------------------------===//
+
+std::optional<CompiledLoop>
+codegen::generateFlexVecRtm(const LoopFunction &F,
+                            const VectorizationPlan &Plan,
+                            unsigned TileIterations) {
+  if (!Plan.Vectorizable)
+    return std::nullopt;
+
+  CompiledLoop Out;
+  Out.Kind = CodeGenKind::FlexVecRtm;
+  ProgramBuilder B;
+  ProgramBuilder::Label Outer = B.createLabel();
+  ProgramBuilder::Label InnerLoop = B.createLabel();
+  ProgramBuilder::Label InnerDone = B.createLabel();
+  ProgramBuilder::Label AbortHandler = B.createLabel();
+  ProgramBuilder::Label VecExit = B.createLabel();
+  ProgramBuilder::Label HaltL = B.createLabel();
+
+  VectorEmitter::Options Opts;
+  Opts.UseFirstFaulting = false; // Faults abort the transaction instead.
+  VectorEmitter Em(B, F, Plan, Opts);
+
+  Reg T = Reg::scalar(25);
+  // The tile bound must survive the scalar abort handler, whose expression
+  // scratch pool owns r25..r31; r0 is reserved for loop bounds.
+  Reg TileEnd = Reg::scalar(0);
+
+  Em.emitPreheader();
+  B.bind(Outer);
+  B.cmp(T, CmpKind::LT, inductionReg(), tripReg(F));
+  B.brZero(T, VecExit);
+  // tile_end = min(i + TILE, n); computed before XBEGIN so the abort path
+  // sees the same bound after register rollback.
+  B.binOpImm(Opcode::AddImm, TileEnd, inductionReg(),
+             static_cast<int64_t>(TileIterations));
+  B.binOp(Opcode::Min, TileEnd, TileEnd, tripReg(F)).Comment =
+      "tile_end = min(i + tile, n)";
+  B.xbegin(AbortHandler).Comment = "speculative tile begins";
+
+  B.bind(InnerLoop);
+  B.cmp(T, CmpKind::LT, inductionReg(), TileEnd);
+  B.brZero(T, InnerDone);
+  Em.emitChunkProlog(TileEnd);
+  Em.emitBody();
+  Em.emitChunkEpilog();
+  if (!Plan.EarlyExits.empty())
+    B.brNonZero(Em.breakFlag(), InnerDone);
+  B.jmp(InnerLoop);
+
+  B.bind(InnerDone);
+  // The last chunk's `i += VL` can overshoot a tile boundary that is not a
+  // multiple of VL; the next tile must resume exactly at tile_end.
+  B.mov(inductionReg(), TileEnd).Comment = "i = tile_end";
+  B.xend().Comment = "tile commits";
+  if (!Plan.EarlyExits.empty())
+    B.brNonZero(Em.breakFlag(), VecExit);
+  B.jmp(Outer);
+
+  // Abort handler: registers (including i and the scalar images) were
+  // rolled back to the XBEGIN point and memory was restored; re-execute the
+  // tile in scalar, then resume vector execution.
+  B.bind(AbortHandler);
+  emitScalarLoopBody(B, F, TileEnd, VecExit);
+  B.jmp(Outer);
+
+  B.bind(VecExit);
+  Em.emitLiveOuts();
+  B.jmp(HaltL);
+  B.bind(HaltL);
+  B.halt();
+
+  Out.Prog = B.finalize();
+  Out.Notes = "FlexVec over RTM; tile=" + std::to_string(TileIterations) +
+              "; " + Em.notes();
+  return Out;
+}
+
+// --- Speculative (PACT'13-style) baseline ------------------------------------===//
+
+std::optional<CompiledLoop>
+codegen::generateSpeculative(const LoopFunction &F,
+                             const VectorizationPlan &Plan) {
+  if (!Plan.Vectorizable)
+    return std::nullopt;
+  if (!Plan.needsFlexVec())
+    return std::nullopt; // Same as traditional; nothing to speculate on.
+
+  const std::vector<Stmt *> &Body = F.body();
+
+  // Checkpoints: (top-level index, kind).
+  struct Check {
+    int Top;
+    enum { CondUpdate, Conflict, Exit } Kind;
+    const analysis::CondUpdateVpl *CU = nullptr;
+    const analysis::MemConflictVpl *MC = nullptr;
+    const analysis::EarlyExitInfo *EE = nullptr;
+    const Expr *GuardCond = nullptr;
+    bool Invert = false;
+  };
+  std::vector<Check> Checks;
+
+  // Reject when the check conditions need values defined at/after their
+  // checkpoint, or when stores precede a checkpoint (the scalar chunk
+  // would re-execute them non-idempotently).
+  auto readsDefinedLater = [&](const Expr *E, int FromTop,
+                               const std::vector<int> &Allowed) {
+    std::vector<bool> Later(F.scalars().size(), false);
+    std::vector<Stmt *> Tail(Body.begin() + FromTop, Body.end());
+    assignedIn(Tail, Later);
+    std::vector<int> Reads;
+    scalarReadsOf(E, Reads);
+    for (int S : Reads) {
+      bool IsAllowed = false;
+      for (int A : Allowed)
+        IsAllowed |= A == S;
+      if (Later[S] && !IsAllowed)
+        return true;
+    }
+    return false;
+  };
+
+  for (const auto &CU : Plan.CondUpdateVpls) {
+    // The dependence condition is the outermost guard of the first update.
+    const Stmt *TopGuard = nullptr;
+    for (int I = CU.FirstTop; I <= CU.LastTop; ++I)
+      if (containsStmt(Body[I], CU.Updates[0].UpdateNode))
+        TopGuard = Body[I];
+    if (!TopGuard || TopGuard->Kind != StmtKind::If)
+      return std::nullopt;
+    std::vector<int> Allowed;
+    for (const auto &U : CU.Updates)
+      Allowed.push_back(U.ScalarId);
+    if (readsDefinedLater(TopGuard->Cond, CU.FirstTop, Allowed))
+      return std::nullopt;
+    Check C;
+    C.Top = CU.FirstTop;
+    C.Kind = Check::CondUpdate;
+    C.CU = &CU;
+    C.GuardCond = TopGuard->Cond;
+    Checks.push_back(C);
+  }
+  for (const auto &MC : Plan.MemConflictVpls) {
+    std::vector<int> Allowed;
+    if (readsDefinedLater(MC.StoreIndex, MC.FirstTop, Allowed))
+      return std::nullopt;
+    for (const Expr *L : MC.LoadIndices)
+      if (readsDefinedLater(L, MC.FirstTop, Allowed))
+        return std::nullopt;
+    Check C;
+    C.Top = MC.FirstTop;
+    C.Kind = Check::Conflict;
+    C.MC = &MC;
+    Checks.push_back(C);
+  }
+  for (const auto &EE : Plan.EarlyExits) {
+    if (EE.BreakInElse)
+      return std::nullopt; // Inverted exit checks are unsupported here.
+    int Top = -1;
+    for (size_t I = 0; I < Body.size(); ++I)
+      if (Body[I]->Id == EE.GuardNode)
+        Top = static_cast<int>(I);
+    if (Top < 0)
+      return std::nullopt; // Nested exit guard.
+    const Stmt *Guard = Body[Top];
+    std::vector<int> Allowed;
+    if (readsDefinedLater(Guard->Cond, Top, Allowed))
+      return std::nullopt;
+    Check C;
+    C.Top = Top;
+    C.Kind = Check::Exit;
+    C.EE = &EE;
+    C.GuardCond = Guard->Cond;
+    C.Invert = EE.BreakInElse;
+    Checks.push_back(C);
+  }
+  // Every statement emitted before the bail-out branch is re-executed by
+  // the scalar chunk, so stores anywhere before the last checkpoint make
+  // the fallback non-idempotent; reject those shapes.
+  int LastCheck = 0;
+  for (const Check &C : Checks)
+    LastCheck = std::max(LastCheck, C.Top);
+  for (int I = 0; I < LastCheck; ++I)
+    if (hasStoreIn({Body[static_cast<size_t>(I)]}))
+      return std::nullopt;
+
+  CompiledLoop Out;
+  Out.Kind = CodeGenKind::Speculative;
+  ProgramBuilder B;
+  ProgramBuilder::Label VecLoop = B.createLabel();
+  ProgramBuilder::Label VecExit = B.createLabel();
+  ProgramBuilder::Label ScalarChunk = B.createLabel();
+  ProgramBuilder::Label HaltL = B.createLabel();
+
+  VectorEmitter::Options Opts;
+  Opts.UseFirstFaulting = false;
+  Opts.StraightlineOnly = true;
+  VectorEmitter Em(B, F, Plan, Opts);
+
+  Reg T = Reg::scalar(25);
+  // r0/r1 are outside both the parameter map and the scalar scratch pool,
+  // so the chunk bound and the check flag survive the scalar fallback.
+  Reg ChunkEnd = Reg::scalar(0);
+  Reg DepFlag = Reg::scalar(1);
+
+  Em.emitPreheader();
+  B.bind(VecLoop);
+  B.cmp(T, CmpKind::LT, inductionReg(), tripReg(F));
+  B.brZero(T, VecExit);
+  Em.emitChunkProlog(tripReg(F));
+  B.movImm(DepFlag, 0);
+
+  // Emit the body straightline, inserting checks at their checkpoints.
+  // (emitBody in straightline mode emits everything; we instead emit
+  // statement ranges manually around the checkpoints.)
+  // Sort checks by position.
+  std::sort(Checks.begin(), Checks.end(),
+            [](const Check &A, const Check &B2) { return A.Top < B2.Top; });
+
+  // The straightline body is emitted in one piece after all checks whose
+  // conditions are evaluable up front; since readsDefinedLater() verified
+  // evaluability at each checkpoint, and checkpoints only move earlier
+  // evaluation, we conservatively emit all checks first when they are all
+  // at positions whose prefixes contain no assignments they read. To keep
+  // the generated code faithful to PACT'13 we emit prefix statements
+  // between checkpoints.
+  size_t NextStmt = 0;
+  for (const Check &C : Checks) {
+    // Emit statements before this checkpoint.
+    while (NextStmt < Body.size() &&
+           static_cast<int>(NextStmt) < C.Top) {
+      Em.emitStraightlineTopLevel(Body[NextStmt]);
+      ++NextStmt;
+    }
+    switch (C.Kind) {
+    case Check::CondUpdate:
+    case Check::Exit:
+      Em.emitSpecCondCheck(C.GuardCond, DepFlag);
+      break;
+    case Check::Conflict:
+      Em.emitSpecConflictCheck(*C.MC, DepFlag);
+      break;
+    }
+  }
+  B.brNonZero(DepFlag, ScalarChunk).Comment =
+      "dependence may fire: roll back to scalar for this chunk";
+  while (NextStmt < Body.size()) {
+    Em.emitStraightlineTopLevel(Body[NextStmt]);
+    ++NextStmt;
+  }
+  Em.emitChunkEpilog();
+  B.jmp(VecLoop);
+
+  // Scalar chunk: VL iterations starting at i.
+  B.bind(ScalarChunk);
+  B.binOpImm(Opcode::AddImm, ChunkEnd, inductionReg(),
+             static_cast<int64_t>(Em.vl()));
+  B.binOp(Opcode::Min, ChunkEnd, ChunkEnd, tripReg(F));
+  emitScalarLoopBody(B, F, ChunkEnd, VecExit);
+  B.jmp(VecLoop);
+
+  B.bind(VecExit);
+  Em.emitLiveOuts();
+  B.jmp(HaltL);
+  B.bind(HaltL);
+  B.halt();
+
+  Out.Prog = B.finalize();
+  Out.Notes = "PACT'13-style speculative vectorization: all-or-nothing "
+              "chunks; " + Em.notes();
+  return Out;
+}

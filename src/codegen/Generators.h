@@ -1,0 +1,54 @@
+//===- codegen/Generators.h - Loop code generators --------------*- C++ -*-===//
+//
+// The four vector code generators compared in the evaluation:
+//
+//  * generateTraditional — classic AVX-512-style vectorization; refuses any
+//    loop needing FlexVec mechanisms (these are exactly the paper's
+//    candidate loops, for which the baseline compiler emits scalar code).
+//  * generateSpeculative — the PACT'13-style all-or-nothing baseline
+//    (Section 2): check the dependence condition for the whole vector up
+//    front; if any lane may fire, execute the chunk in scalar.
+//  * generateFlexVec — partial vector code with VPLs, KFTM masks,
+//    VPSLCTLAST propagation, VPCONFLICTM checks, and first-faulting loads
+//    with a scalar fallback (Sections 3-4).
+//  * generateFlexVecRtm — the RTM alternative (Sections 3.3.2, 4.1):
+//    strip-mined tiles inside rollback-only transactions using plain
+//    loads; aborts re-execute the tile in scalar.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_CODEGEN_GENERATORS_H
+#define FLEXVEC_CODEGEN_GENERATORS_H
+
+#include "codegen/Compiled.h"
+
+#include <optional>
+
+namespace flexvec {
+namespace codegen {
+
+/// Default RTM strip-mining tile, in scalar iterations (the paper found
+/// 128-256 within 1-2% of first-faulting codegen).
+inline constexpr unsigned DefaultRtmTile = 192;
+
+std::optional<CompiledLoop>
+generateTraditional(const ir::LoopFunction &F,
+                    const analysis::VectorizationPlan &Plan);
+
+std::optional<CompiledLoop>
+generateSpeculative(const ir::LoopFunction &F,
+                    const analysis::VectorizationPlan &Plan);
+
+std::optional<CompiledLoop>
+generateFlexVec(const ir::LoopFunction &F,
+                const analysis::VectorizationPlan &Plan);
+
+std::optional<CompiledLoop>
+generateFlexVecRtm(const ir::LoopFunction &F,
+                   const analysis::VectorizationPlan &Plan,
+                   unsigned TileIterations = DefaultRtmTile);
+
+} // namespace codegen
+} // namespace flexvec
+
+#endif // FLEXVEC_CODEGEN_GENERATORS_H

@@ -1,0 +1,37 @@
+//===- codegen/ScalarCodeGen.h - Scalar code generation ---------*- C++ -*-===//
+//
+// Generates strict scalar (iteration-ordered) machine code for a loop.
+// This is (a) the baseline for loops the traditional vectorizer rejects —
+// the paper's FlexVec candidates are exactly those — and (b) the fallback
+// body embedded into FlexVec programs for first-faulting bailouts and RTM
+// abort handlers.
+//
+// Control flow uses conditional branches (not CMOV), matching the "branchy"
+// baseline behaviour the paper discusses for 450.soplex.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_CODEGEN_SCALARCODEGEN_H
+#define FLEXVEC_CODEGEN_SCALARCODEGEN_H
+
+#include "codegen/Compiled.h"
+
+namespace flexvec {
+namespace codegen {
+
+/// Emits a complete scalar program for \p F (inputs per the shared register
+/// conventions; ends with Halt).
+CompiledLoop generateScalar(const ir::LoopFunction &F);
+
+/// Emits a scalar loop over iterations [inductionReg(), \p BoundReg) into
+/// an existing builder. Scalar variables live in their scalarParamReg()s.
+/// On a break, control transfers to \p BreakTarget; on normal exhaustion it
+/// falls through. Used to embed fallback/abort-handler bodies.
+void emitScalarLoopBody(isa::ProgramBuilder &B, const ir::LoopFunction &F,
+                        isa::Reg BoundReg,
+                        isa::ProgramBuilder::Label BreakTarget);
+
+} // namespace codegen
+} // namespace flexvec
+
+#endif // FLEXVEC_CODEGEN_SCALARCODEGEN_H

@@ -1,0 +1,149 @@
+//===- core/Evaluator.cpp -------------------------------------------------===//
+
+#include "core/Evaluator.h"
+
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::core;
+using namespace flexvec::ir;
+
+RunOutcome core::runProgram(const codegen::CompiledLoop &CL,
+                            const mem::Memory &BaseImage, const Bindings &B,
+                            emu::TraceSink *Sink, uint64_t MaxInstructions) {
+  RunOutcome Out;
+  mem::Memory M = BaseImage.clone();
+  emu::Machine Machine(M);
+  for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+    Machine.setScalar(codegen::scalarParamReg(static_cast<int>(S)).Index,
+                      B.ScalarValues[S]);
+  for (size_t A = 0; A < B.ArrayBases.size(); ++A)
+    Machine.setScalar(codegen::arrayBaseReg(static_cast<int>(A)).Index,
+                      static_cast<int64_t>(B.ArrayBases[A]));
+  emu::RunLimits Limits;
+  Limits.MaxInstructions = MaxInstructions;
+  Out.Exec = Machine.run(CL.Prog, Limits, Sink);
+  Out.Ok = Out.Exec.Reason == emu::StopReason::Halted;
+  if (!Out.Ok) {
+    Out.Error = Out.Exec.Reason == emu::StopReason::Fault
+                    ? "memory fault at " + std::to_string(Out.Exec.FaultAddr)
+                    : "instruction limit exceeded";
+  }
+  Out.MemFingerprint = M.fingerprint();
+  for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+    Out.LiveOuts.push_back(Machine.getScalar(
+        codegen::scalarParamReg(static_cast<int>(S)).Index));
+  return Out;
+}
+
+RunOutcome core::runReference(const LoopFunction &F,
+                              const mem::Memory &BaseImage,
+                              const Bindings &B) {
+  RunOutcome Out;
+  mem::Memory M = BaseImage.clone();
+  Bindings Work = B;
+  Interpreter Interp(M);
+  Interp.run(F, Work);
+  Out.Ok = true;
+  Out.MemFingerprint = M.fingerprint();
+  Out.LiveOuts = Work.ScalarValues;
+  return Out;
+}
+
+namespace {
+
+uint64_t hashCombine(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+uint64_t foldLiveOuts(const LoopFunction &F, uint64_t H,
+                      const std::vector<int64_t> &LiveOuts) {
+  for (size_t S = 0; S < F.scalars().size(); ++S)
+    if (F.scalar(S).IsLiveOut)
+      H = hashCombine(H, static_cast<uint64_t>(LiveOuts[S]));
+  return H;
+}
+
+} // namespace
+
+RunOutcome core::runProgramMulti(const LoopFunction &F,
+                                 const codegen::CompiledLoop &CL,
+                                 const mem::Memory &BaseImage,
+                                 const std::vector<Bindings> &Invocations,
+                                 emu::TraceSink *Sink,
+                                 uint64_t MaxInstructionsPerRun) {
+  RunOutcome Out;
+  Out.Ok = true;
+  mem::Memory M = BaseImage.clone();
+  emu::Machine Machine(M);
+  emu::RunLimits Limits;
+  Limits.MaxInstructions = MaxInstructionsPerRun;
+  for (const Bindings &B : Invocations) {
+    Machine.resetRegisters();
+    for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+      Machine.setScalar(codegen::scalarParamReg(static_cast<int>(S)).Index,
+                        B.ScalarValues[S]);
+    for (size_t A = 0; A < B.ArrayBases.size(); ++A)
+      Machine.setScalar(codegen::arrayBaseReg(static_cast<int>(A)).Index,
+                        static_cast<int64_t>(B.ArrayBases[A]));
+    emu::ExecResult R = Machine.run(CL.Prog, Limits, Sink);
+    Out.Exec.Stats.Instructions += R.Stats.Instructions;
+    Out.Exec.Stats.Branches += R.Stats.Branches;
+    Out.Exec.Stats.MemoryAccesses += R.Stats.MemoryAccesses;
+    for (size_t I = 0; I < R.Stats.OpcodeCounts.size(); ++I)
+      Out.Exec.Stats.OpcodeCounts[I] += R.Stats.OpcodeCounts[I];
+    if (R.Reason != emu::StopReason::Halted) {
+      Out.Ok = false;
+      Out.Error = "invocation failed";
+      break;
+    }
+    Out.LiveOuts.clear();
+    for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+      Out.LiveOuts.push_back(Machine.getScalar(
+          codegen::scalarParamReg(static_cast<int>(S)).Index));
+    Out.LiveOutHash = foldLiveOuts(F, Out.LiveOutHash, Out.LiveOuts);
+  }
+  Out.MemFingerprint = M.fingerprint();
+  return Out;
+}
+
+RunOutcome core::runReferenceMulti(const LoopFunction &F,
+                                   const mem::Memory &BaseImage,
+                                   const std::vector<Bindings> &Invocations) {
+  RunOutcome Out;
+  Out.Ok = true;
+  mem::Memory M = BaseImage.clone();
+  Interpreter Interp(M);
+  for (const Bindings &B : Invocations) {
+    Bindings Work = B;
+    Interp.run(F, Work);
+    Out.LiveOuts = Work.ScalarValues;
+    Out.LiveOutHash = foldLiveOuts(F, Out.LiveOutHash, Out.LiveOuts);
+  }
+  Out.MemFingerprint = M.fingerprint();
+  return Out;
+}
+
+bool core::outcomesMatch(const LoopFunction &F, const RunOutcome &A,
+                         const RunOutcome &B) {
+  if (!A.Ok || !B.Ok)
+    return false;
+  if (A.MemFingerprint != B.MemFingerprint)
+    return false;
+  if (A.LiveOutHash != B.LiveOutHash)
+    return false;
+  assert(A.LiveOuts.size() == B.LiveOuts.size());
+  for (size_t S = 0; S < F.scalars().size(); ++S) {
+    if (!F.scalar(S).IsLiveOut)
+      continue;
+    if (A.LiveOuts[S] != B.LiveOuts[S])
+      return false;
+  }
+  return true;
+}
+
+double core::coverageScaledSpeedup(double HotSpeedup, double Coverage) {
+  assert(HotSpeedup > 0 && Coverage >= 0 && Coverage <= 1);
+  return 1.0 / (1.0 - Coverage + Coverage / HotSpeedup);
+}

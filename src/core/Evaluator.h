@@ -1,0 +1,71 @@
+//===- core/Evaluator.h - Correctness and performance evaluation -*- C++ -*-===//
+//
+// Runs compiled programs on the functional emulator against cloned memory
+// images, cross-checks them against the IR reference interpreter, and (via
+// a caller-provided trace sink) feeds the timing model. Also implements
+// the paper's coverage scaling: hot-region speedups are scaled down by the
+// region's contribution to total program execution (Section 5).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_CORE_EVALUATOR_H
+#define FLEXVEC_CORE_EVALUATOR_H
+
+#include "codegen/Compiled.h"
+#include "emu/Machine.h"
+#include "ir/Interp.h"
+
+#include <string>
+#include <vector>
+
+namespace flexvec {
+namespace core {
+
+/// Result of one program (or reference) execution.
+struct RunOutcome {
+  bool Ok = false; ///< Ran to completion (Halt / interpreter return).
+  emu::ExecResult Exec;           ///< Machine runs only.
+  uint64_t MemFingerprint = 0;    ///< Final memory image digest.
+  std::vector<int64_t> LiveOuts;  ///< Raw live-out scalar values, in
+                                  ///< scalar-parameter order.
+  uint64_t LiveOutHash = 0; ///< Folded live-outs across multi-invocations.
+  std::string Error;
+};
+
+/// Runs \p CL on a clone of \p BaseImage with \p B's inputs. \p Sink
+/// optionally receives the dynamic instruction trace.
+RunOutcome runProgram(const codegen::CompiledLoop &CL,
+                      const mem::Memory &BaseImage, const ir::Bindings &B,
+                      emu::TraceSink *Sink = nullptr,
+                      uint64_t MaxInstructions = 1ULL << 32);
+
+/// Runs the IR reference interpreter on a clone of \p BaseImage.
+RunOutcome runReference(const ir::LoopFunction &F,
+                        const mem::Memory &BaseImage, const ir::Bindings &B);
+
+/// Runs \p CL once per element of \p Invocations against one persistent
+/// memory clone (mutations carry across invocations, like repeated calls
+/// into a hot loop). LiveOutHash folds every invocation's live-outs.
+RunOutcome runProgramMulti(const ir::LoopFunction &F,
+                           const codegen::CompiledLoop &CL,
+                           const mem::Memory &BaseImage,
+                           const std::vector<ir::Bindings> &Invocations,
+                           emu::TraceSink *Sink = nullptr,
+                           uint64_t MaxInstructionsPerRun = 1ULL << 32);
+
+/// Reference-interpreter counterpart of runProgramMulti.
+RunOutcome runReferenceMulti(const ir::LoopFunction &F,
+                             const mem::Memory &BaseImage,
+                             const std::vector<ir::Bindings> &Invocations);
+
+/// True when two outcomes agree on memory and live-outs.
+bool outcomesMatch(const ir::LoopFunction &F, const RunOutcome &A,
+                   const RunOutcome &B);
+
+/// Amdahl scaling used in Section 5: overall = 1 / (1 - c + c / s).
+double coverageScaledSpeedup(double HotSpeedup, double Coverage);
+
+} // namespace core
+} // namespace flexvec
+
+#endif // FLEXVEC_CORE_EVALUATOR_H

@@ -1,0 +1,18 @@
+//===- core/Measure.cpp ---------------------------------------------------===//
+
+#include "core/Measure.h"
+
+using namespace flexvec;
+using namespace flexvec::core;
+
+Measurement core::measureProgram(const codegen::CompiledLoop &CL,
+                                 const mem::Memory &BaseImage,
+                                 const ir::Bindings &B,
+                                 const sim::CoreConfig &Cfg,
+                                 uint64_t MaxInstructions) {
+  Measurement M;
+  sim::OooCore Core(Cfg);
+  M.Outcome = runProgram(CL, BaseImage, B, &Core, MaxInstructions);
+  M.Timing = Core.stats();
+  return M;
+}

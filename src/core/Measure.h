@@ -1,0 +1,40 @@
+//===- core/Measure.h - Functional + timing measurement ---------*- C++ -*-===//
+//
+// Couples the functional emulator to the OOO timing model: one call runs a
+// compiled loop to completion while the cycle model consumes its dynamic
+// instruction stream — the repository's equivalent of replaying a LIT
+// checkpoint through the paper's cycle-accurate simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_CORE_MEASURE_H
+#define FLEXVEC_CORE_MEASURE_H
+
+#include "core/Evaluator.h"
+#include "sim/OooCore.h"
+
+namespace flexvec {
+namespace core {
+
+struct Measurement {
+  RunOutcome Outcome;
+  sim::SimStats Timing;
+};
+
+/// Runs \p CL on a clone of \p BaseImage and measures it on \p Cfg.
+Measurement measureProgram(const codegen::CompiledLoop &CL,
+                           const mem::Memory &BaseImage,
+                           const ir::Bindings &B,
+                           const sim::CoreConfig &Cfg = sim::CoreConfig(),
+                           uint64_t MaxInstructions = 1ULL << 32);
+
+/// Cycles(A) / Cycles(B): how much faster B is than A.
+inline double speedup(const Measurement &BaselineM, const Measurement &NewM) {
+  return static_cast<double>(BaselineM.Timing.Cycles) /
+         static_cast<double>(NewM.Timing.Cycles);
+}
+
+} // namespace core
+} // namespace flexvec
+
+#endif // FLEXVEC_CORE_MEASURE_H

@@ -1,0 +1,32 @@
+//===- core/Pipeline.cpp --------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "codegen/ScalarCodeGen.h"
+#include "pdg/Pdg.h"
+
+using namespace flexvec;
+using namespace flexvec::core;
+
+PipelineResult core::compileLoop(const ir::LoopFunction &F,
+                                 unsigned RtmTile) {
+  PipelineResult R;
+  pdg::Pdg P(F);
+  R.PdgDump = P.dump();
+  R.Plan = analysis::analyzeLoop(P);
+  R.Shape = analysis::computeLoopShape(F);
+  R.Scalar = codegen::generateScalar(F);
+  R.Traditional = codegen::generateTraditional(F, R.Plan);
+  R.Speculative = codegen::generateSpeculative(F, R.Plan);
+  R.FlexVec = codegen::generateFlexVec(F, R.Plan);
+  R.Rtm = codegen::generateFlexVecRtm(F, R.Plan, RtmTile);
+  if (R.FlexVec) {
+    codegen::CompiledLoop Opt = *R.FlexVec;
+    Opt.Prog = codegen::optimizeProgram(R.FlexVec->Prog,
+                                        codegen::PeepholeOptions(),
+                                        &R.OptStats);
+    Opt.Notes += "; peephole: " + R.OptStats.describe();
+    R.FlexVecOpt = std::move(Opt);
+  }
+  return R;
+}

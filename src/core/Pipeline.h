@@ -1,0 +1,59 @@
+//===- core/Pipeline.h - The FlexVec compilation pipeline -------*- C++ -*-===//
+//
+// Public entry point: takes a loop in the high-level IR and produces every
+// program variant the evaluation compares — scalar baseline, traditional
+// vectorization (when legal), the PACT'13-style speculative baseline (when
+// applicable), FlexVec partial vector code, and the RTM variant.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_CORE_PIPELINE_H
+#define FLEXVEC_CORE_PIPELINE_H
+
+#include "analysis/CostModel.h"
+#include "analysis/Patterns.h"
+#include "codegen/Generators.h"
+#include "codegen/Peephole.h"
+
+#include <optional>
+#include <string>
+
+namespace flexvec {
+namespace core {
+
+/// Everything the pipeline produces for one loop.
+struct PipelineResult {
+  analysis::VectorizationPlan Plan;
+  analysis::LoopShape Shape;
+  codegen::CompiledLoop Scalar;
+  std::optional<codegen::CompiledLoop> Traditional;
+  std::optional<codegen::CompiledLoop> Speculative;
+  std::optional<codegen::CompiledLoop> FlexVec;
+  std::optional<codegen::CompiledLoop> Rtm;
+  /// FlexVec program after the downstream peephole passes (Section 3.7's
+  /// "down-stream passes of the compiler"); kept separate so the ablation
+  /// benchmark can compare.
+  std::optional<codegen::CompiledLoop> FlexVecOpt;
+  codegen::PeepholeStats OptStats;
+  std::string PdgDump;
+
+  /// The program the baseline (ICC/AVX-512 -fast) would execute: the
+  /// traditional vector code when legal, otherwise scalar.
+  const codegen::CompiledLoop &baseline() const {
+    return Traditional ? *Traditional : Scalar;
+  }
+
+  /// The best FlexVec program (first-faulting variant).
+  const codegen::CompiledLoop &flexvec() const {
+    return FlexVec ? *FlexVec : baseline();
+  }
+};
+
+/// Runs analysis and all code generators over \p F.
+PipelineResult compileLoop(const ir::LoopFunction &F,
+                           unsigned RtmTile = codegen::DefaultRtmTile);
+
+} // namespace core
+} // namespace flexvec
+
+#endif // FLEXVEC_CORE_PIPELINE_H

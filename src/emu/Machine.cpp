@@ -1,0 +1,886 @@
+//===- emu/Machine.cpp ----------------------------------------------------===//
+
+#include "emu/Machine.h"
+
+#include "support/Bits.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace flexvec;
+using namespace flexvec::emu;
+using namespace flexvec::isa;
+
+TraceSink::~TraceSink() = default;
+
+// --- VecReg lane accessors ----------------------------------------------===//
+
+int64_t VecReg::laneInt(ElemType Ty, unsigned Lane) const {
+  assert(Lane < lanesFor(Ty) && "lane out of range");
+  switch (Ty) {
+  case ElemType::I32: {
+    int32_t V;
+    std::memcpy(&V, Bytes.data() + Lane * 4, 4);
+    return V;
+  }
+  case ElemType::I64: {
+    int64_t V;
+    std::memcpy(&V, Bytes.data() + Lane * 8, 8);
+    return V;
+  }
+  case ElemType::F32: {
+    uint32_t V;
+    std::memcpy(&V, Bytes.data() + Lane * 4, 4);
+    return static_cast<int64_t>(V);
+  }
+  case ElemType::F64: {
+    uint64_t V;
+    std::memcpy(&V, Bytes.data() + Lane * 8, 8);
+    return static_cast<int64_t>(V);
+  }
+  }
+  unreachable("covered switch");
+}
+
+void VecReg::setLaneInt(ElemType Ty, unsigned Lane, int64_t Value) {
+  assert(Lane < lanesFor(Ty) && "lane out of range");
+  switch (Ty) {
+  case ElemType::I32:
+  case ElemType::F32: {
+    uint32_t V = static_cast<uint32_t>(Value);
+    std::memcpy(Bytes.data() + Lane * 4, &V, 4);
+    return;
+  }
+  case ElemType::I64:
+  case ElemType::F64: {
+    std::memcpy(Bytes.data() + Lane * 8, &Value, 8);
+    return;
+  }
+  }
+  unreachable("covered switch");
+}
+
+double VecReg::laneFloat(ElemType Ty, unsigned Lane) const {
+  assert(Lane < lanesFor(Ty) && "lane out of range");
+  if (Ty == ElemType::F32) {
+    float V;
+    std::memcpy(&V, Bytes.data() + Lane * 4, 4);
+    return V;
+  }
+  assert(Ty == ElemType::F64 && "float lane access on integer type");
+  double V;
+  std::memcpy(&V, Bytes.data() + Lane * 8, 8);
+  return V;
+}
+
+void VecReg::setLaneFloat(ElemType Ty, unsigned Lane, double Value) {
+  assert(Lane < lanesFor(Ty) && "lane out of range");
+  if (Ty == ElemType::F32) {
+    float V = static_cast<float>(Value);
+    std::memcpy(Bytes.data() + Lane * 4, &V, 4);
+    return;
+  }
+  assert(Ty == ElemType::F64 && "float lane access on integer type");
+  std::memcpy(Bytes.data() + Lane * 8, &Value, 8);
+}
+
+// --- Machine scalar FP helpers ------------------------------------------===//
+
+double Machine::getScalarF64(unsigned I) const {
+  double V;
+  int64_t Bits = R[I];
+  std::memcpy(&V, &Bits, 8);
+  return V;
+}
+
+void Machine::setScalarF64(unsigned I, double V) {
+  int64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  R[I] = Bits;
+}
+
+float Machine::getScalarF32(unsigned I) const {
+  float V;
+  uint32_t Bits = static_cast<uint32_t>(R[I]);
+  std::memcpy(&V, &Bits, 4);
+  return V;
+}
+
+void Machine::setScalarF32(unsigned I, float V) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &V, 4);
+  R[I] = static_cast<int64_t>(static_cast<uint64_t>(Bits));
+}
+
+void Machine::resetRegisters() {
+  R.fill(0);
+  for (VecReg &Reg : V)
+    Reg.Bytes.fill(0);
+  K.fill(0);
+  TxAborted = false;
+  Faulted = false;
+}
+
+uint64_t Machine::effectiveMask(const Instruction &I) const {
+  uint64_t AllLanes = lowBitMask(lanesFor(I.Type));
+  if (!I.MaskReg.isValid() || I.MaskReg.Index == 0)
+    return AllLanes;
+  return K[I.MaskReg.Index] & AllLanes;
+}
+
+bool Machine::memRead(uint64_t Addr, void *Out, uint64_t Size) {
+  if (Tx.isActive()) {
+    rtm::AbortReason Reason;
+    if (!Tx.read(Addr, Out, Size, Reason)) {
+      TxAborted = true;
+      return false;
+    }
+    return true;
+  }
+  mem::AccessResult Res = M.read(Addr, Out, Size);
+  if (!Res.Ok) {
+    Faulted = true;
+    FaultAddr = Res.FaultAddr;
+    return false;
+  }
+  return true;
+}
+
+bool Machine::memWrite(uint64_t Addr, const void *Data, uint64_t Size) {
+  if (Tx.isActive()) {
+    rtm::AbortReason Reason;
+    if (!Tx.write(Addr, Data, Size, Reason)) {
+      TxAborted = true;
+      return false;
+    }
+    return true;
+  }
+  mem::AccessResult Res = M.write(Addr, Data, Size);
+  if (!Res.Ok) {
+    Faulted = true;
+    FaultAddr = Res.FaultAddr;
+    return false;
+  }
+  return true;
+}
+
+// --- Main interpreter ----------------------------------------------------===//
+
+namespace {
+
+int64_t applyScalarIntOp(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                static_cast<uint64_t>(B));
+  case Opcode::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                static_cast<uint64_t>(B));
+  case Opcode::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                static_cast<uint64_t>(B));
+  case Opcode::Div:
+    assert(B != 0 && "division by zero");
+    return A / B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(A)
+                                << (static_cast<uint64_t>(B) & 63));
+  case Opcode::Shr:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                                (static_cast<uint64_t>(B) & 63));
+  case Opcode::Min:
+    return std::min(A, B);
+  case Opcode::Max:
+    return std::max(A, B);
+  default:
+    unreachable("not a scalar integer binary opcode");
+  }
+}
+
+double applyScalarFpOp(Opcode Op, double A, double B) {
+  switch (Op) {
+  case Opcode::FAdd:
+    return A + B;
+  case Opcode::FSub:
+    return A - B;
+  case Opcode::FMul:
+    return A * B;
+  case Opcode::FDiv:
+    return A / B;
+  case Opcode::FMin:
+    return std::min(A, B);
+  case Opcode::FMax:
+    return std::max(A, B);
+  default:
+    unreachable("not a scalar fp binary opcode");
+  }
+}
+
+int64_t applyVectorIntOp(Opcode Op, ElemType Ty, int64_t A, int64_t B) {
+  bool Is32 = elemSize(Ty) == 4;
+  auto wrap = [Is32](int64_t X) {
+    return Is32 ? static_cast<int64_t>(static_cast<int32_t>(X)) : X;
+  };
+  switch (Op) {
+  case Opcode::VAdd:
+  case Opcode::VAddImm:
+    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                     static_cast<uint64_t>(B)));
+  case Opcode::VSub:
+    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                     static_cast<uint64_t>(B)));
+  case Opcode::VMul:
+  case Opcode::VMulImm:
+    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                     static_cast<uint64_t>(B)));
+  case Opcode::VAnd:
+    return A & B;
+  case Opcode::VOr:
+    return A | B;
+  case Opcode::VXor:
+    return A ^ B;
+  case Opcode::VMin:
+    return std::min(A, B);
+  case Opcode::VMax:
+    return std::max(A, B);
+  case Opcode::VShlImm:
+    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A)
+                                     << (static_cast<uint64_t>(B) & 63)));
+  default:
+    unreachable("not a vector integer binary opcode");
+  }
+}
+
+double applyVectorFpOp(Opcode Op, double A, double B) {
+  switch (Op) {
+  case Opcode::VFAdd:
+    return A + B;
+  case Opcode::VFSub:
+    return A - B;
+  case Opcode::VFMul:
+    return A * B;
+  case Opcode::VFDiv:
+    return A / B;
+  case Opcode::VFMin:
+    return std::min(A, B);
+  case Opcode::VFMax:
+    return std::max(A, B);
+  default:
+    unreachable("not a vector fp binary opcode");
+  }
+}
+
+} // namespace
+
+ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
+  ExecResult Result;
+  ExecStats &Stats = Result.Stats;
+  if (P.empty())
+    return Result;
+
+  std::vector<uint64_t> AddrScratch;
+  uint32_t PC = 0;
+
+  while (true) {
+    if (Stats.Instructions >= Limits.MaxInstructions) {
+      Result.Reason = StopReason::InstrLimit;
+      return Result;
+    }
+    assert(PC < P.size() && "program counter out of range");
+    const Instruction &I = P[PC];
+    uint32_t NextPC = PC + 1;
+    bool Taken = false;
+    uint64_t ActiveMask = 0;
+    unsigned AccessSize = 0;
+    AddrScratch.clear();
+    Faulted = false;
+    TxAborted = false;
+
+    unsigned ES = elemSize(I.Type);
+    unsigned Lanes = lanesFor(I.Type);
+
+    // Effective scalar address for scalar/contiguous-vector memory ops.
+    auto scalarAddr = [&]() {
+      uint64_t A = static_cast<uint64_t>(R[I.Src1.Index]) + I.Disp;
+      if (I.Src2.isValid())
+        A += static_cast<uint64_t>(R[I.Src2.Index]) * I.Scale;
+      return A;
+    };
+    // Effective address for lane L of a gather/scatter.
+    auto gatherAddr = [&](unsigned L) {
+      return static_cast<uint64_t>(R[I.Src1.Index]) +
+             static_cast<uint64_t>(V[I.Src2.Index].laneInt(I.Type, L)) *
+                 I.Scale +
+             I.Disp;
+    };
+
+    switch (I.Op) {
+    case Opcode::Halt:
+      ++Stats.Instructions;
+      ++Stats.OpcodeCounts[static_cast<unsigned>(I.Op)];
+      Result.Reason = StopReason::Halted;
+      return Result;
+    case Opcode::Nop:
+      break;
+    case Opcode::Jmp:
+      Taken = true;
+      NextPC = static_cast<uint32_t>(I.Target);
+      break;
+    case Opcode::BrZero:
+      Taken = R[I.Src1.Index] == 0;
+      if (Taken)
+        NextPC = static_cast<uint32_t>(I.Target);
+      break;
+    case Opcode::BrNonZero:
+      Taken = R[I.Src1.Index] != 0;
+      if (Taken)
+        NextPC = static_cast<uint32_t>(I.Target);
+      break;
+
+    case Opcode::MovImm:
+      R[I.Dst.Index] = I.Imm;
+      break;
+    case Opcode::Mov:
+      R[I.Dst.Index] = R[I.Src1.Index];
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Min:
+    case Opcode::Max:
+      R[I.Dst.Index] =
+          applyScalarIntOp(I.Op, R[I.Src1.Index], R[I.Src2.Index]);
+      break;
+    case Opcode::AddImm:
+      R[I.Dst.Index] = applyScalarIntOp(Opcode::Add, R[I.Src1.Index], I.Imm);
+      break;
+    case Opcode::MulImm:
+      R[I.Dst.Index] = applyScalarIntOp(Opcode::Mul, R[I.Src1.Index], I.Imm);
+      break;
+    case Opcode::AndImm:
+      R[I.Dst.Index] = R[I.Src1.Index] & I.Imm;
+      break;
+    case Opcode::ShlImm:
+      R[I.Dst.Index] = applyScalarIntOp(Opcode::Shl, R[I.Src1.Index], I.Imm);
+      break;
+    case Opcode::ShrImm:
+      R[I.Dst.Index] = applyScalarIntOp(Opcode::Shr, R[I.Src1.Index], I.Imm);
+      break;
+    case Opcode::Cmp:
+      R[I.Dst.Index] =
+          evalCmp(I.Cond, R[I.Src1.Index], R[I.Src2.Index]) ? 1 : 0;
+      break;
+    case Opcode::CmpImm:
+      R[I.Dst.Index] = evalCmp(I.Cond, R[I.Src1.Index], I.Imm) ? 1 : 0;
+      break;
+    case Opcode::Select:
+      R[I.Dst.Index] =
+          R[I.Src1.Index] != 0 ? R[I.Src2.Index] : R[I.Src3.Index];
+      break;
+
+    case Opcode::FMovImm:
+      R[I.Dst.Index] = I.Imm;
+      break;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::FMin:
+    case Opcode::FMax: {
+      if (I.Type == ElemType::F32) {
+        float A = getScalarF32(I.Src1.Index);
+        float B = getScalarF32(I.Src2.Index);
+        setScalarF32(I.Dst.Index,
+                     static_cast<float>(applyScalarFpOp(I.Op, A, B)));
+      } else {
+        setScalarF64(I.Dst.Index,
+                     applyScalarFpOp(I.Op, getScalarF64(I.Src1.Index),
+                                     getScalarF64(I.Src2.Index)));
+      }
+      break;
+    }
+    case Opcode::FCmp: {
+      double A, B;
+      if (I.Type == ElemType::F32) {
+        A = getScalarF32(I.Src1.Index);
+        B = getScalarF32(I.Src2.Index);
+      } else {
+        A = getScalarF64(I.Src1.Index);
+        B = getScalarF64(I.Src2.Index);
+      }
+      R[I.Dst.Index] = evalCmp(I.Cond, A, B) ? 1 : 0;
+      break;
+    }
+
+    case Opcode::Load: {
+      uint64_t Addr = scalarAddr();
+      AccessSize = ES;
+      AddrScratch.push_back(Addr);
+      if (ES == 4) {
+        uint32_t Raw;
+        if (!memRead(Addr, &Raw, 4))
+          break;
+        R[I.Dst.Index] = I.Type == ElemType::I32
+                             ? static_cast<int64_t>(static_cast<int32_t>(Raw))
+                             : static_cast<int64_t>(Raw);
+      } else {
+        int64_t Raw;
+        if (!memRead(Addr, &Raw, 8))
+          break;
+        R[I.Dst.Index] = Raw;
+      }
+      break;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = scalarAddr();
+      AccessSize = ES;
+      AddrScratch.push_back(Addr);
+      if (ES == 4) {
+        uint32_t Raw = static_cast<uint32_t>(R[I.Src3.Index]);
+        memWrite(Addr, &Raw, 4);
+      } else {
+        int64_t Raw = R[I.Src3.Index];
+        memWrite(Addr, &Raw, 8);
+      }
+      break;
+    }
+
+    case Opcode::VBroadcast: {
+      ActiveMask = effectiveMask(I);
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        if (testBit(ActiveMask, L))
+          D.setLaneInt(I.Type, L, R[I.Src1.Index]);
+      break;
+    }
+    case Opcode::VBroadcastImm: {
+      ActiveMask = effectiveMask(I);
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        if (testBit(ActiveMask, L))
+          D.setLaneInt(I.Type, L, I.Imm);
+      break;
+    }
+    case Opcode::VIndex: {
+      ActiveMask = lowBitMask(Lanes);
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        D.setLaneInt(I.Type, L, R[I.Src1.Index] + L);
+      break;
+    }
+    case Opcode::VAdd:
+    case Opcode::VSub:
+    case Opcode::VMul:
+    case Opcode::VAnd:
+    case Opcode::VOr:
+    case Opcode::VXor:
+    case Opcode::VMin:
+    case Opcode::VMax: {
+      ActiveMask = effectiveMask(I);
+      const VecReg A = V[I.Src1.Index];
+      const VecReg B = V[I.Src2.Index];
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        if (testBit(ActiveMask, L))
+          D.setLaneInt(I.Type, L,
+                       applyVectorIntOp(I.Op, I.Type, A.laneInt(I.Type, L),
+                                        B.laneInt(I.Type, L)));
+      break;
+    }
+    case Opcode::VAddImm:
+    case Opcode::VMulImm:
+    case Opcode::VShlImm: {
+      ActiveMask = effectiveMask(I);
+      const VecReg A = V[I.Src1.Index];
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        if (testBit(ActiveMask, L))
+          D.setLaneInt(I.Type, L,
+                       applyVectorIntOp(I.Op, I.Type, A.laneInt(I.Type, L),
+                                        I.Imm));
+      break;
+    }
+    case Opcode::VFAdd:
+    case Opcode::VFSub:
+    case Opcode::VFMul:
+    case Opcode::VFDiv:
+    case Opcode::VFMin:
+    case Opcode::VFMax: {
+      ActiveMask = effectiveMask(I);
+      const VecReg A = V[I.Src1.Index];
+      const VecReg B = V[I.Src2.Index];
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        if (testBit(ActiveMask, L))
+          D.setLaneFloat(I.Type, L,
+                         applyVectorFpOp(I.Op, A.laneFloat(I.Type, L),
+                                         B.laneFloat(I.Type, L)));
+      break;
+    }
+    case Opcode::VCmp:
+    case Opcode::VCmpImm: {
+      ActiveMask = effectiveMask(I);
+      const VecReg A = V[I.Src1.Index];
+      uint64_t Out = 0;
+      for (unsigned L = 0; L < Lanes; ++L) {
+        if (!testBit(ActiveMask, L))
+          continue;
+        bool Bit;
+        if (isFloatType(I.Type)) {
+          double BVal = I.Op == Opcode::VCmp
+                            ? V[I.Src2.Index].laneFloat(I.Type, L)
+                            : static_cast<double>(I.Imm);
+          Bit = evalCmp(I.Cond, A.laneFloat(I.Type, L), BVal);
+        } else {
+          int64_t BVal = I.Op == Opcode::VCmp
+                             ? V[I.Src2.Index].laneInt(I.Type, L)
+                             : I.Imm;
+          Bit = evalCmp(I.Cond, A.laneInt(I.Type, L), BVal);
+        }
+        if (Bit)
+          Out |= 1ULL << L;
+      }
+      K[I.Dst.Index] = Out;
+      break;
+    }
+    case Opcode::VBlend: {
+      ActiveMask = effectiveMask(I);
+      const VecReg A = V[I.Src1.Index];
+      const VecReg B = V[I.Src2.Index];
+      VecReg &D = V[I.Dst.Index];
+      for (unsigned L = 0; L < Lanes; ++L)
+        D.setLaneInt(I.Type, L,
+                     testBit(ActiveMask, L) ? A.laneInt(I.Type, L)
+                                            : B.laneInt(I.Type, L));
+      break;
+    }
+    case Opcode::VExtractLast:
+    case Opcode::VSlctLast: {
+      ActiveMask = effectiveMask(I);
+      const VecReg S = V[I.Src1.Index];
+      unsigned Lane = Lanes - 1;
+      uint64_t Enabled = ActiveMask & lowBitMask(Lanes);
+      if (Enabled != 0)
+        Lane = 63 - static_cast<unsigned>(std::countl_zero(Enabled));
+      int64_t Value = S.laneInt(I.Type, Lane);
+      if (I.Op == Opcode::VExtractLast) {
+        R[I.Dst.Index] = Value;
+      } else {
+        VecReg &D = V[I.Dst.Index];
+        for (unsigned L = 0; L < Lanes; ++L)
+          D.setLaneInt(I.Type, L, Value);
+      }
+      break;
+    }
+    case Opcode::VReduceAdd:
+    case Opcode::VReduceMin:
+    case Opcode::VReduceMax: {
+      ActiveMask = effectiveMask(I);
+      const VecReg S = V[I.Src1.Index];
+      if (isFloatType(I.Type)) {
+        double Acc = I.Type == ElemType::F32
+                         ? static_cast<double>(getScalarF32(I.Src2.Index))
+                         : getScalarF64(I.Src2.Index);
+        for (unsigned L = 0; L < Lanes; ++L) {
+          if (!testBit(ActiveMask, L))
+            continue;
+          double X = S.laneFloat(I.Type, L);
+          if (I.Op == Opcode::VReduceAdd)
+            Acc += X;
+          else if (I.Op == Opcode::VReduceMin)
+            Acc = std::min(Acc, X);
+          else
+            Acc = std::max(Acc, X);
+        }
+        if (I.Type == ElemType::F32)
+          setScalarF32(I.Dst.Index, static_cast<float>(Acc));
+        else
+          setScalarF64(I.Dst.Index, Acc);
+      } else {
+        int64_t Acc = R[I.Src2.Index];
+        for (unsigned L = 0; L < Lanes; ++L) {
+          if (!testBit(ActiveMask, L))
+            continue;
+          int64_t X = S.laneInt(I.Type, L);
+          if (I.Op == Opcode::VReduceAdd)
+            Acc = static_cast<int64_t>(static_cast<uint64_t>(Acc) +
+                                       static_cast<uint64_t>(X));
+          else if (I.Op == Opcode::VReduceMin)
+            Acc = std::min(Acc, X);
+          else
+            Acc = std::max(Acc, X);
+        }
+        R[I.Dst.Index] = Acc;
+      }
+      break;
+    }
+
+    case Opcode::VLoad: {
+      ActiveMask = effectiveMask(I);
+      AccessSize = ES;
+      uint64_t Base = scalarAddr();
+      VecReg &D = V[I.Dst.Index];
+      bool Stop = false;
+      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
+        if (!testBit(ActiveMask, L))
+          continue;
+        uint64_t Addr = Base + static_cast<uint64_t>(L) * ES;
+        AddrScratch.push_back(Addr);
+        int64_t Raw = 0;
+        if (!memRead(Addr, &Raw, ES)) {
+          Stop = true;
+          break;
+        }
+        if (ES == 4 && I.Type == ElemType::I32)
+          Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
+        D.setLaneInt(I.Type, L, Raw);
+      }
+      break;
+    }
+    case Opcode::VStore: {
+      ActiveMask = effectiveMask(I);
+      AccessSize = ES;
+      uint64_t Base = scalarAddr();
+      const VecReg S = V[I.Src3.Index];
+      bool Stop = false;
+      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
+        if (!testBit(ActiveMask, L))
+          continue;
+        uint64_t Addr = Base + static_cast<uint64_t>(L) * ES;
+        AddrScratch.push_back(Addr);
+        int64_t Raw = S.laneInt(I.Type, L);
+        if (!memWrite(Addr, &Raw, ES))
+          Stop = true;
+      }
+      break;
+    }
+    case Opcode::VGather: {
+      ActiveMask = effectiveMask(I);
+      AccessSize = ES;
+      VecReg &D = V[I.Dst.Index];
+      bool Stop = false;
+      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
+        if (!testBit(ActiveMask, L))
+          continue;
+        uint64_t Addr = gatherAddr(L);
+        AddrScratch.push_back(Addr);
+        int64_t Raw = 0;
+        if (!memRead(Addr, &Raw, ES)) {
+          Stop = true;
+          break;
+        }
+        if (ES == 4 && I.Type == ElemType::I32)
+          Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
+        D.setLaneInt(I.Type, L, Raw);
+      }
+      break;
+    }
+    case Opcode::VScatter: {
+      ActiveMask = effectiveMask(I);
+      AccessSize = ES;
+      const VecReg S = V[I.Src3.Index];
+      bool Stop = false;
+      // Lanes are stored in increasing order so that a later lane's store to
+      // the same address wins, matching scalar iteration order.
+      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
+        if (!testBit(ActiveMask, L))
+          continue;
+        uint64_t Addr = gatherAddr(L);
+        AddrScratch.push_back(Addr);
+        int64_t Raw = S.laneInt(I.Type, L);
+        if (!memWrite(Addr, &Raw, ES))
+          Stop = true;
+      }
+      break;
+    }
+
+    case Opcode::VMovFF:
+    case Opcode::VGatherFF: {
+      // First-faulting semantics (Section 3.3.1): the leftmost write-mask
+      // enabled element is non-speculative and faults architecturally; a
+      // fault on any later enabled element zeroes the write mask from that
+      // lane rightward and suppresses the exception.
+      assert(I.MaskReg.isValid() && I.MaskReg.Index != 0 &&
+             "first-faulting ops require a writable mask");
+      uint64_t Mask = K[I.MaskReg.Index] & lowBitMask(Lanes);
+      ActiveMask = Mask;
+      AccessSize = ES;
+      VecReg &D = V[I.Dst.Index];
+      uint64_t Base =
+          I.Op == Opcode::VMovFF ? scalarAddr() : 0; // gather uses per-lane
+      bool SeenNonSpec = false;
+      for (unsigned L = 0; L < Lanes; ++L) {
+        if (!testBit(Mask, L))
+          continue;
+        uint64_t Addr = I.Op == Opcode::VMovFF
+                            ? Base + static_cast<uint64_t>(L) * ES
+                            : gatherAddr(L);
+        int64_t Raw = 0;
+        mem::AccessResult Res = M.read(Addr, &Raw, ES);
+        if (!Res.Ok) {
+          if (!SeenNonSpec) {
+            // Fault on the non-speculative element: architectural fault.
+            Faulted = true;
+            FaultAddr = Res.FaultAddr;
+          } else {
+            // Speculative fault: clip the write mask from this lane on.
+            K[I.MaskReg.Index] &= lowBitMask(L);
+          }
+          break;
+        }
+        AddrScratch.push_back(Addr);
+        if (ES == 4 && I.Type == ElemType::I32)
+          Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
+        D.setLaneInt(I.Type, L, Raw);
+        SeenNonSpec = true;
+      }
+      break;
+    }
+
+    case Opcode::VConflictM: {
+      // Section 3.6: serialization points restart the comparison window.
+      assert(!isFloatType(I.Type) && "conflict detection is on indices");
+      uint64_t Enable = effectiveMask(I);
+      const VecReg &V1 = V[I.Src1.Index];
+      const VecReg &V2 = V[I.Src2.Index];
+      uint64_t Out = 0;
+      unsigned WindowStart = 0;
+      for (unsigned J = 0; J < Lanes; ++J) {
+        int64_t Needle = V1.laneInt(I.Type, J);
+        for (unsigned P = WindowStart; P < J; ++P) {
+          if (!testBit(Enable, P))
+            continue;
+          if (V2.laneInt(I.Type, P) == Needle) {
+            Out |= 1ULL << J;
+            WindowStart = J;
+            break;
+          }
+        }
+      }
+      K[I.Dst.Index] = Out;
+      break;
+    }
+
+    case Opcode::KFtmExc:
+    case Opcode::KFtmInc: {
+      // Section 3.4: scan KStop (Src1) through the write-enable mask; safe
+      // lanes are the enabled lanes before (EXC) / through (INC) the first
+      // enabled stop bit. For the exclusive variant, a stop bit at the
+      // leading enabled lane is ignored: that lane has no preceding lanes
+      // left to wait for, which is what guarantees forward progress of the
+      // do/while VPL in Figure 2(b).
+      uint64_t Enable = effectiveMask(I);
+      uint64_t Stop = K[I.Src1.Index] & Enable;
+      if (I.Op == Opcode::KFtmExc && Enable != 0)
+        Stop &= ~(1ULL << countTrailingZeros(Enable));
+      uint64_t Out;
+      if (Stop == 0) {
+        Out = Enable;
+      } else {
+        unsigned First = countTrailingZeros(Stop);
+        unsigned Cut = I.Op == Opcode::KFtmExc ? First : First + 1;
+        Out = Enable & lowBitMask(Cut);
+      }
+      K[I.Dst.Index] = Out;
+      break;
+    }
+
+    case Opcode::KMov:
+      K[I.Dst.Index] = K[I.Src1.Index];
+      break;
+    case Opcode::KSet:
+      K[I.Dst.Index] = static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::KAnd:
+      K[I.Dst.Index] = K[I.Src1.Index] & K[I.Src2.Index];
+      break;
+    case Opcode::KOr:
+      K[I.Dst.Index] = K[I.Src1.Index] | K[I.Src2.Index];
+      break;
+    case Opcode::KXor:
+      K[I.Dst.Index] = K[I.Src1.Index] ^ K[I.Src2.Index];
+      break;
+    case Opcode::KAndN:
+      K[I.Dst.Index] = ~K[I.Src1.Index] & K[I.Src2.Index];
+      break;
+    case Opcode::KNot:
+      K[I.Dst.Index] = ~K[I.Src1.Index] & lowBitMask(Lanes);
+      break;
+    case Opcode::KTest:
+      R[I.Dst.Index] = K[I.Src1.Index] != 0 ? 1 : 0;
+      break;
+    case Opcode::KPopcnt:
+      R[I.Dst.Index] = popcount(K[I.Src1.Index]);
+      break;
+
+    case Opcode::XBegin:
+      TxSnapshot.R = R;
+      TxSnapshot.V = V;
+      TxSnapshot.K = K;
+      TxAbortTarget = I.Target;
+      Tx.begin();
+      break;
+    case Opcode::XEnd:
+      Tx.commit();
+      break;
+    case Opcode::XAbort:
+      Tx.abort(rtm::AbortReason::Explicit);
+      TxAborted = true;
+      break;
+    }
+
+    // Transaction abort: memory is already rolled back; restore registers
+    // and redirect control to the abort handler.
+    if (TxAborted) {
+      R = TxSnapshot.R;
+      V = TxSnapshot.V;
+      K = TxSnapshot.K;
+      NextPC = static_cast<uint32_t>(TxAbortTarget);
+      Taken = true;
+      TxAborted = false;
+    }
+
+    ++Stats.Instructions;
+    ++Stats.OpcodeCounts[static_cast<unsigned>(I.Op)];
+    if (I.isBranch()) {
+      ++Stats.Branches;
+      if (Taken)
+        ++Stats.TakenBranches;
+    }
+    Stats.MemoryAccesses += AddrScratch.size();
+
+    if (Sink) {
+      DynInstr DI;
+      DI.Instr = &I;
+      DI.InstrIdx = PC;
+      DI.NextIdx = NextPC;
+      DI.Taken = Taken;
+      DI.ActiveMask = ActiveMask;
+      DI.AccessSize = AccessSize;
+      DI.MemAddrs = &AddrScratch;
+      Sink->onInstr(DI);
+    }
+
+    if (Faulted) {
+      Result.Reason = StopReason::Fault;
+      Result.FaultAddr = FaultAddr;
+      return Result;
+    }
+
+    PC = NextPC;
+  }
+}

@@ -1,0 +1,160 @@
+//===- emu/Machine.h - Functional ISA emulator ------------------*- C++ -*-===//
+//
+// Architectural-state emulator for the FlexVec target: 32 scalar registers,
+// 32 512-bit vector registers, 8 mask registers, a paged memory, and a
+// rollback-only transaction unit. Executes finalized Programs and
+// optionally streams a dynamic-instruction trace to a sink; the
+// out-of-order timing model (src/sim) is such a sink, mirroring the
+// trace-driven (LIT checkpoint) methodology of the paper's evaluation.
+//
+// FlexVec instruction semantics follow the worked examples in Section 3 of
+// the paper lane for lane; those examples are encoded as unit tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_EMU_MACHINE_H
+#define FLEXVEC_EMU_MACHINE_H
+
+#include "isa/Program.h"
+#include "memory/Memory.h"
+#include "rtm/Transaction.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace flexvec {
+namespace emu {
+
+/// One 512-bit vector register with typed lane accessors.
+struct VecReg {
+  alignas(64) std::array<uint8_t, isa::VectorBytes> Bytes{};
+
+  int64_t laneInt(isa::ElemType Ty, unsigned Lane) const;
+  void setLaneInt(isa::ElemType Ty, unsigned Lane, int64_t Value);
+  double laneFloat(isa::ElemType Ty, unsigned Lane) const;
+  void setLaneFloat(isa::ElemType Ty, unsigned Lane, double Value);
+
+  bool operator==(const VecReg &O) const { return Bytes == O.Bytes; }
+};
+
+/// One dynamic instruction, streamed to a TraceSink as it retires from the
+/// functional model.
+struct DynInstr {
+  const isa::Instruction *Instr = nullptr;
+  uint32_t InstrIdx = 0;   ///< Static index within the program.
+  uint32_t NextIdx = 0;    ///< Dynamic successor (branch-resolved).
+  bool Taken = false;      ///< For branches: taken?
+  uint64_t ActiveMask = 0; ///< Resolved write mask (vector ops).
+  unsigned AccessSize = 0; ///< Bytes per memory access (memory ops).
+  /// Effective addresses of the memory accesses this instruction performed
+  /// (one per active lane for gathers/scatters).
+  const std::vector<uint64_t> *MemAddrs = nullptr;
+};
+
+/// Consumer of the dynamic instruction stream.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void onInstr(const DynInstr &DI) = 0;
+};
+
+/// Why execution stopped.
+enum class StopReason : uint8_t {
+  Halted,        ///< Halt executed (normal completion).
+  Fault,         ///< Unhandled (non-speculative) memory fault.
+  InstrLimit,    ///< Dynamic instruction budget exhausted.
+};
+
+/// Dynamic execution statistics.
+struct ExecStats {
+  uint64_t Instructions = 0;
+  uint64_t Branches = 0;
+  uint64_t TakenBranches = 0;
+  uint64_t MemoryAccesses = 0;
+  std::array<uint64_t, isa::NumOpcodes> OpcodeCounts{};
+
+  uint64_t countOf(isa::Opcode Op) const {
+    return OpcodeCounts[static_cast<unsigned>(Op)];
+  }
+};
+
+/// Result of Machine::run.
+struct ExecResult {
+  StopReason Reason = StopReason::Halted;
+  uint64_t FaultAddr = 0; ///< Valid when Reason == Fault.
+  ExecStats Stats;
+};
+
+/// Execution budget.
+struct RunLimits {
+  uint64_t MaxInstructions = 1ULL << 32;
+};
+
+/// The architectural machine.
+class Machine {
+public:
+  explicit Machine(mem::Memory &M) : M(M), Tx(M) {}
+
+  /// Scalar register access (FP values live in scalar registers as bit
+  /// patterns; see the typed helpers).
+  int64_t getScalar(unsigned I) const { return R[I]; }
+  void setScalar(unsigned I, int64_t V) { R[I] = V; }
+  double getScalarF64(unsigned I) const;
+  void setScalarF64(unsigned I, double V);
+  float getScalarF32(unsigned I) const;
+  void setScalarF32(unsigned I, float V);
+
+  const VecReg &getVector(unsigned I) const { return V[I]; }
+  VecReg &vectorReg(unsigned I) { return V[I]; }
+
+  uint64_t getMask(unsigned I) const { return K[I]; }
+  void setMask(unsigned I, uint64_t Value) { K[I] = Value; }
+
+  mem::Memory &memory() { return M; }
+  const rtm::TxStats &txStats() const { return Tx.stats(); }
+
+  /// Resets registers (memory is untouched).
+  void resetRegisters();
+
+  /// Runs \p P from instruction 0 until Halt, fault, or the limit.
+  ExecResult run(const isa::Program &P, RunLimits Limits = RunLimits(),
+                 TraceSink *Sink = nullptr);
+
+private:
+  struct RegSnapshot {
+    std::array<int64_t, isa::NumScalarRegs> R;
+    std::array<VecReg, isa::NumVectorRegs> V;
+    std::array<uint64_t, isa::NumMaskRegs> K;
+  };
+
+  /// Resolved write mask for \p I: k0 (or no mask) enables all lanes of the
+  /// instruction's element type.
+  uint64_t effectiveMask(const isa::Instruction &I) const;
+
+  /// Memory access routed through the transaction unit when one is active.
+  /// Returns false on a fault outside a transaction (sets FaultAddr); when
+  /// a transaction is active, faults abort it and set TxAborted.
+  bool memRead(uint64_t Addr, void *Out, uint64_t Size);
+  bool memWrite(uint64_t Addr, const void *Data, uint64_t Size);
+
+  mem::Memory &M;
+  rtm::TransactionManager Tx;
+  std::array<int64_t, isa::NumScalarRegs> R{};
+  std::array<VecReg, isa::NumVectorRegs> V{};
+  std::array<uint64_t, isa::NumMaskRegs> K{};
+
+  // Transaction control state.
+  bool TxAborted = false;
+  int32_t TxAbortTarget = 0;
+  RegSnapshot TxSnapshot;
+
+  // Fault bookkeeping for the current step.
+  bool Faulted = false;
+  uint64_t FaultAddr = 0;
+};
+
+} // namespace emu
+} // namespace flexvec
+
+#endif // FLEXVEC_EMU_MACHINE_H

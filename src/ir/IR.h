@@ -1,0 +1,202 @@
+//===- ir/IR.h - High-level AST-like loop IR --------------------*- C++ -*-===//
+//
+// The paper implements FlexVec "as a pass in a high-level, AST like IR that
+// feeds into the vector code generation module" (Section 4). This is that
+// IR: a single counted loop (for i = 0; i < n; ++i) over scalar and array
+// parameters, with structured control flow (if/else, break) in the body.
+//
+// Statements carry stable ids (S1, S2, ...) used by the PDG, the analysis
+// tags, and the disassembly comments, mirroring the paper's figures.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_IR_IR_H
+#define FLEXVEC_IR_IR_H
+
+#include "isa/Opcode.h"
+#include "isa/Reg.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flexvec {
+namespace ir {
+
+using isa::CmpKind;
+using isa::ElemType;
+
+class LoopFunction;
+
+/// Binary operators on same-typed operands.
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Min,
+  Max,
+};
+
+const char *binOpName(BinOp Op);
+
+/// Expression kinds.
+enum class ExprKind : uint8_t {
+  ConstInt,  ///< Integer literal.
+  ConstFloat,///< Floating literal.
+  ScalarRef, ///< Read of a scalar parameter/variable.
+  IndexRef,  ///< The loop induction variable.
+  ArrayRef,  ///< Array element read: Array[Index].
+  Binary,    ///< Lhs <BinOp> Rhs.
+  Compare,   ///< Lhs <CmpKind> Rhs, yields bool (i64 0/1).
+  LogicalAnd,///< Lhs && Rhs over bools (non-short-circuit in vector code).
+};
+
+/// One expression node (immutable after construction, arena-owned).
+struct Expr {
+  ExprKind Kind;
+  ElemType Type; ///< Result type (Compare/LogicalAnd yield ElemType::I64).
+
+  int64_t IntValue = 0;  ///< ConstInt.
+  double FloatValue = 0; ///< ConstFloat.
+  int ScalarId = -1;     ///< ScalarRef.
+  int ArrayId = -1;      ///< ArrayRef.
+  const Expr *Index = nullptr; ///< ArrayRef subscript.
+  BinOp Op = BinOp::Add;       ///< Binary.
+  CmpKind Cmp = CmpKind::EQ;   ///< Compare.
+  const Expr *Lhs = nullptr;
+  const Expr *Rhs = nullptr;
+
+  bool isBool() const { return Kind == ExprKind::Compare ||
+                               Kind == ExprKind::LogicalAnd; }
+
+  /// Source-like rendering ("block_sad[pos] < min_mcost").
+  std::string str(const LoopFunction &F) const;
+};
+
+/// Statement kinds.
+enum class StmtKind : uint8_t {
+  AssignScalar, ///< Scalar = Value.
+  StoreArray,   ///< Array[Index] = Value.
+  If,           ///< if (Cond) Then else Else.
+  Break,        ///< Exit the loop.
+};
+
+/// One statement node (arena-owned). Mutable children only through the
+/// LoopFunction builder.
+struct Stmt {
+  StmtKind Kind;
+  int Id = 0; ///< Stable statement number (1-based, creation order).
+
+  int ScalarId = -1;           ///< AssignScalar target.
+  int ArrayId = -1;            ///< StoreArray target.
+  const Expr *Index = nullptr; ///< StoreArray subscript.
+  const Expr *Value = nullptr; ///< AssignScalar/StoreArray RHS.
+  const Expr *Cond = nullptr;  ///< If condition.
+  std::vector<Stmt *> Then;    ///< If true-region.
+  std::vector<Stmt *> Else;    ///< If false-region.
+
+  /// Source-like rendering of this statement only (no children).
+  std::string str(const LoopFunction &F) const;
+};
+
+/// A scalar parameter/variable of the loop.
+struct ScalarParam {
+  std::string Name;
+  ElemType Type;
+  bool IsLiveOut = false; ///< Value after the loop is observed.
+};
+
+/// An array parameter of the loop (bound to a base address at run time).
+struct ArrayParam {
+  std::string Name;
+  ElemType Elem;
+  /// Declared element count; subscripts are asserted in-bounds by the
+  /// reference interpreter (bound at execution time, not here).
+  bool ReadOnly = false; ///< Never stored to by this loop (analysis aid).
+};
+
+/// A single counted loop:  for (i = 0; i < <bound scalar>; ++i) { body }.
+///
+/// Owns all Expr and Stmt nodes. Construction is via the expr*/stmt*
+/// factory methods; the finished body is installed with setBody().
+class LoopFunction {
+public:
+  explicit LoopFunction(std::string Name) : Name(std::move(Name)) {}
+  LoopFunction(const LoopFunction &) = delete;
+  LoopFunction &operator=(const LoopFunction &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  // --- Parameters ---
+  int addScalar(std::string ScalarName, ElemType Type, bool IsLiveOut = false);
+  int addArray(std::string ArrayName, ElemType Elem, bool ReadOnly = false);
+
+  /// Declares which scalar parameter holds the trip count (upper bound).
+  void setTripCountScalar(int ScalarId) { TripCountScalar = ScalarId; }
+  int tripCountScalar() const { return TripCountScalar; }
+
+  const std::vector<ScalarParam> &scalars() const { return Scalars; }
+  const std::vector<ArrayParam> &arrays() const { return Arrays; }
+  const ScalarParam &scalar(int Id) const { return Scalars[Id]; }
+  const ArrayParam &array(int Id) const { return Arrays[Id]; }
+
+  // --- Expression factories ---
+  const Expr *constInt(ElemType Type, int64_t V);
+  const Expr *constFloat(ElemType Type, double V);
+  const Expr *scalarRef(int ScalarId);
+  const Expr *indexRef();
+  const Expr *arrayRef(int ArrayId, const Expr *Index);
+  const Expr *binary(BinOp Op, const Expr *Lhs, const Expr *Rhs);
+  const Expr *compare(CmpKind Cmp, const Expr *Lhs, const Expr *Rhs);
+  const Expr *logicalAnd(const Expr *Lhs, const Expr *Rhs);
+
+  // --- Statement factories ---
+  Stmt *assignScalar(int ScalarId, const Expr *Value);
+  Stmt *storeArray(int ArrayId, const Expr *Index, const Expr *Value);
+  Stmt *makeIf(const Expr *Cond, std::vector<Stmt *> Then,
+               std::vector<Stmt *> Else = {});
+  /// Creates an empty if so children can be numbered after their parent
+  /// (matching the paper's lexical S-numbering); attach children with
+  /// addThen/addElse.
+  Stmt *makeIfShell(const Expr *Cond);
+  void addThen(Stmt *If, Stmt *Child);
+  void addElse(Stmt *If, Stmt *Child);
+  Stmt *makeBreak();
+
+  void setBody(std::vector<Stmt *> Stmts) { Body = std::move(Stmts); }
+  const std::vector<Stmt *> &body() const { return Body; }
+
+  /// Total number of statements created (ids are 1..numStmts()).
+  int numStmts() const { return NextStmtId - 1; }
+
+  /// Visits every statement in lexical order (pre-order over if-regions).
+  void forEachStmt(const std::function<void(const Stmt *)> &Fn) const;
+
+  /// Source-like rendering of the whole loop.
+  std::string print() const;
+
+private:
+  static void forEachStmtIn(const std::vector<Stmt *> &Stmts,
+                            const std::function<void(const Stmt *)> &Fn);
+
+  std::string Name;
+  std::vector<ScalarParam> Scalars;
+  std::vector<ArrayParam> Arrays;
+  int TripCountScalar = -1;
+  std::vector<Stmt *> Body;
+  std::vector<std::unique_ptr<Expr>> ExprArena;
+  std::vector<std::unique_ptr<Stmt>> StmtArena;
+  int NextStmtId = 1;
+};
+
+} // namespace ir
+} // namespace flexvec
+
+#endif // FLEXVEC_IR_IR_H

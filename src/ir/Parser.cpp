@@ -1,0 +1,523 @@
+//===- ir/Parser.cpp ------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+using namespace flexvec;
+using namespace flexvec::ir;
+using isa::CmpKind;
+using isa::ElemType;
+
+namespace {
+
+enum class TokKind {
+  Ident,
+  Number,
+  Float,
+  Punct, ///< Single or double character punctuation, in Text.
+  End,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  int Line = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) { advance(); }
+
+  const Token &peek() const { return Cur; }
+
+  Token take() {
+    Token T = Cur;
+    advance();
+    return T;
+  }
+
+  std::string Error;
+
+private:
+  void advance() {
+    // Skip whitespace and // comments.
+    while (Pos < Src.size()) {
+      if (Src[Pos] == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(Src[Pos]))) {
+        ++Pos;
+      } else if (Src[Pos] == '/' && Pos + 1 < Src.size() &&
+                 Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    Cur = Token();
+    Cur.Line = Line;
+    if (Pos >= Src.size())
+      return;
+
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      Cur.Kind = TokKind::Ident;
+      Cur.Text = Src.substr(Start, Pos - Start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Src.size() &&
+         std::isdigit(static_cast<unsigned char>(Src[Pos + 1])))) {
+      size_t Start = Pos;
+      if (C == '-')
+        ++Pos;
+      bool IsFloat = false;
+      while (Pos < Src.size() &&
+             (std::isdigit(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '.')) {
+        IsFloat |= Src[Pos] == '.';
+        ++Pos;
+      }
+      std::string Text = Src.substr(Start, Pos - Start);
+      if (IsFloat) {
+        Cur.Kind = TokKind::Float;
+        Cur.FloatValue = std::stod(Text);
+      } else {
+        Cur.Kind = TokKind::Number;
+        Cur.IntValue = std::stoll(Text);
+      }
+      Cur.Text = Text;
+      return;
+    }
+    // Two-character punctuation first.
+    static const char *Twos[] = {"==", "!=", "<=", ">=", "&&", "[]"};
+    for (const char *Two : Twos) {
+      if (Src.compare(Pos, 2, Two) == 0) {
+        Cur.Kind = TokKind::Punct;
+        Cur.Text = Two;
+        Pos += 2;
+        return;
+      }
+    }
+    Cur.Kind = TokKind::Punct;
+    Cur.Text = std::string(1, C);
+    ++Pos;
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  Token Cur;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Lex(Source) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    if (!parseHeader()) {
+      Result.Error = Error;
+      return Result;
+    }
+    std::vector<Stmt *> Body;
+    if (!parseBlock(Body)) {
+      Result.Error = Error;
+      return Result;
+    }
+    if (Lex.peek().Kind != TokKind::End) {
+      fail("trailing input after the loop body");
+      Result.Error = Error;
+      return Result;
+    }
+    if (F->tripCountScalar() < 0) {
+      Result.Error = "no parameter is marked 'trip'";
+      return Result;
+    }
+    F->setBody(Body);
+    Result.F = std::move(F);
+    return Result;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Lex.peek().Line) + ": " + Msg;
+    return false;
+  }
+
+  bool expectPunct(const std::string &P) {
+    if (Lex.peek().Kind == TokKind::Punct && Lex.peek().Text == P) {
+      Lex.take();
+      return true;
+    }
+    return fail("expected '" + P + "', found '" + Lex.peek().Text + "'");
+  }
+
+  bool expectIdent(const std::string &I) {
+    if (Lex.peek().Kind == TokKind::Ident && Lex.peek().Text == I) {
+      Lex.take();
+      return true;
+    }
+    return fail("expected '" + I + "', found '" + Lex.peek().Text + "'");
+  }
+
+  bool isPunct(const std::string &P) {
+    return Lex.peek().Kind == TokKind::Punct && Lex.peek().Text == P;
+  }
+
+  bool isIdent(const std::string &I) {
+    return Lex.peek().Kind == TokKind::Ident && Lex.peek().Text == I;
+  }
+
+  bool parseType(ElemType &Ty) {
+    static const std::map<std::string, ElemType> Types = {
+        {"i32", ElemType::I32},
+        {"i64", ElemType::I64},
+        {"f32", ElemType::F32},
+        {"f64", ElemType::F64},
+    };
+    if (Lex.peek().Kind != TokKind::Ident)
+      return fail("expected a type");
+    auto It = Types.find(Lex.peek().Text);
+    if (It == Types.end())
+      return fail("unknown type '" + Lex.peek().Text + "'");
+    Ty = It->second;
+    Lex.take();
+    return true;
+  }
+
+  bool parseHeader() {
+    if (!expectIdent("loop"))
+      return false;
+    if (Lex.peek().Kind != TokKind::Ident)
+      return fail("expected a loop name");
+    F = std::make_unique<LoopFunction>(Lex.take().Text);
+    if (!expectPunct("("))
+      return false;
+    while (true) {
+      ElemType Ty = ElemType::I32;
+      if (!parseType(Ty))
+        return false;
+      if (Lex.peek().Kind != TokKind::Ident)
+        return fail("expected a parameter name");
+      std::string Name = Lex.take().Text;
+      if (Name == "i")
+        return fail("'i' is reserved for the induction variable");
+
+      bool IsArray = false, LiveOut = false, ReadOnly = false, Trip = false;
+      if (isPunct("[]")) {
+        Lex.take();
+        IsArray = true;
+      }
+      while (Lex.peek().Kind == TokKind::Ident &&
+             (isIdent("liveout") || isIdent("readonly") || isIdent("trip"))) {
+        std::string Attr = Lex.take().Text;
+        LiveOut |= Attr == "liveout";
+        ReadOnly |= Attr == "readonly";
+        Trip |= Attr == "trip";
+      }
+      if (IsArray) {
+        if (LiveOut || Trip)
+          return fail("array parameters cannot be liveout/trip");
+        Arrays[Name] = F->addArray(Name, Ty, ReadOnly);
+      } else {
+        if (ReadOnly)
+          return fail("'readonly' applies to arrays");
+        int Id = F->addScalar(Name, Ty, LiveOut);
+        Scalars[Name] = Id;
+        if (Trip)
+          F->setTripCountScalar(Id);
+      }
+      if (isPunct(",")) {
+        Lex.take();
+        continue;
+      }
+      break;
+    }
+    return expectPunct(")");
+  }
+
+  bool parseBlock(std::vector<Stmt *> &Out) {
+    if (!expectPunct("{"))
+      return false;
+    while (!isPunct("}")) {
+      if (Lex.peek().Kind == TokKind::End)
+        return fail("unterminated block");
+      Stmt *S = parseStmt();
+      if (!S)
+        return false;
+      Out.push_back(S);
+    }
+    Lex.take(); // '}'
+    return true;
+  }
+
+  Stmt *parseStmt() {
+    if (isIdent("break")) {
+      Lex.take();
+      if (!expectPunct(";"))
+        return nullptr;
+      return F->makeBreak();
+    }
+    if (isIdent("if")) {
+      Lex.take();
+      if (!expectPunct("("))
+        return nullptr;
+      const Expr *Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+      if (!Cond->isBool()) {
+        fail("if condition must be a comparison");
+        return nullptr;
+      }
+      if (!expectPunct(")"))
+        return nullptr;
+      // Shell first so statement ids follow source order.
+      Stmt *If = F->makeIfShell(Cond);
+      std::vector<Stmt *> Then;
+      if (!parseBlock(Then))
+        return nullptr;
+      for (Stmt *S : Then)
+        F->addThen(If, S);
+      if (isIdent("else")) {
+        Lex.take();
+        std::vector<Stmt *> Else;
+        if (!parseBlock(Else))
+          return nullptr;
+        for (Stmt *S : Else)
+          F->addElse(If, S);
+      }
+      return If;
+    }
+
+    if (Lex.peek().Kind != TokKind::Ident) {
+      fail("expected a statement");
+      return nullptr;
+    }
+    std::string Name = Lex.take().Text;
+    if (isPunct("[")) {
+      // Array store.
+      auto It = Arrays.find(Name);
+      if (It == Arrays.end()) {
+        fail("unknown array '" + Name + "'");
+        return nullptr;
+      }
+      Lex.take();
+      const Expr *Index = parseExpr();
+      if (!Index || !expectPunct("]") || !expectPunct("="))
+        return nullptr;
+      const Expr *Value = parseExpr();
+      if (!Value || !expectPunct(";"))
+        return nullptr;
+      if (F->array(It->second).ReadOnly) {
+        fail("store to readonly array '" + Name + "'");
+        return nullptr;
+      }
+      const Expr *ElemProto = F->arrayRef(It->second, F->indexRef());
+      coerce(ElemProto, Value);
+      return F->storeArray(It->second, Index, Value);
+    }
+    auto It = Scalars.find(Name);
+    if (It == Scalars.end()) {
+      fail("unknown scalar '" + Name + "'");
+      return nullptr;
+    }
+    if (!expectPunct("="))
+      return nullptr;
+    const Expr *Value = parseExpr();
+    if (!Value || !expectPunct(";"))
+      return nullptr;
+    // Literal on the right of a typed scalar adopts the scalar's type.
+    const Expr *Target = F->scalarRef(It->second);
+    coerce(Target, Value);
+    return F->assignScalar(It->second, Value);
+  }
+
+  const Expr *parseExpr() { return parseAnd(); }
+
+  /// Integer literals written in float context become float constants of
+  /// the sibling's type (the IR requires matched operand types).
+  void coerce(const Expr *&L, const Expr *&R) {
+    if (L->Kind == ExprKind::ConstInt && isFloatType(R->Type))
+      L = F->constFloat(R->Type, static_cast<double>(L->IntValue));
+    if (R->Kind == ExprKind::ConstInt && isFloatType(L->Type))
+      R = F->constFloat(L->Type, static_cast<double>(R->IntValue));
+    // And f32 literals next to f64 values (or vice versa) adopt the
+    // non-literal side's width.
+    if (L->Kind == ExprKind::ConstFloat && isFloatType(R->Type) &&
+        L->Type != R->Type)
+      L = F->constFloat(R->Type, L->FloatValue);
+    if (R->Kind == ExprKind::ConstFloat && isFloatType(L->Type) &&
+        R->Type != L->Type)
+      R = F->constFloat(L->Type, R->FloatValue);
+    // Integer literals next to i64 values widen.
+    if (L->Kind == ExprKind::ConstInt && !isFloatType(R->Type) &&
+        L->Type != R->Type)
+      L = F->constInt(R->Type, L->IntValue);
+    if (R->Kind == ExprKind::ConstInt && !isFloatType(L->Type) &&
+        R->Type != L->Type)
+      R = F->constInt(L->Type, R->IntValue);
+  }
+
+  const Expr *parseAnd() {
+    const Expr *L = parseCmp();
+    if (!L)
+      return nullptr;
+    while (isPunct("&&")) {
+      Lex.take();
+      const Expr *R = parseCmp();
+      if (!R)
+        return nullptr;
+      if (!L->isBool() || !R->isBool()) {
+        fail("'&&' requires comparisons on both sides");
+        return nullptr;
+      }
+      L = F->logicalAnd(L, R);
+    }
+    return L;
+  }
+
+  const Expr *parseCmp() {
+    const Expr *L = parseAdd();
+    if (!L)
+      return nullptr;
+    static const std::map<std::string, CmpKind> Cmps = {
+        {"==", CmpKind::EQ}, {"!=", CmpKind::NE}, {"<", CmpKind::LT},
+        {"<=", CmpKind::LE}, {">", CmpKind::GT},  {">=", CmpKind::GE},
+    };
+    if (Lex.peek().Kind == TokKind::Punct) {
+      auto It = Cmps.find(Lex.peek().Text);
+      if (It != Cmps.end()) {
+        Lex.take();
+        const Expr *R = parseAdd();
+        if (!R)
+          return nullptr;
+        coerce(L, R);
+        return F->compare(It->second, L, R);
+      }
+    }
+    return L;
+  }
+
+  const Expr *parseAdd() {
+    const Expr *L = parseMul();
+    if (!L)
+      return nullptr;
+    while (Lex.peek().Kind == TokKind::Punct &&
+           (Lex.peek().Text == "+" || Lex.peek().Text == "-" ||
+            Lex.peek().Text == "&" || Lex.peek().Text == "|" ||
+            Lex.peek().Text == "^")) {
+      std::string Op = Lex.take().Text;
+      const Expr *R = parseMul();
+      if (!R)
+        return nullptr;
+      BinOp K = Op == "+"   ? BinOp::Add
+                : Op == "-" ? BinOp::Sub
+                : Op == "&" ? BinOp::And
+                : Op == "|" ? BinOp::Or
+                            : BinOp::Xor;
+      coerce(L, R);
+      L = F->binary(K, L, R);
+    }
+    return L;
+  }
+
+  const Expr *parseMul() {
+    const Expr *L = parsePrimary();
+    if (!L)
+      return nullptr;
+    while (Lex.peek().Kind == TokKind::Punct &&
+           (Lex.peek().Text == "*" || Lex.peek().Text == "/")) {
+      std::string Op = Lex.take().Text;
+      const Expr *R = parsePrimary();
+      if (!R)
+        return nullptr;
+      coerce(L, R);
+      L = F->binary(Op == "*" ? BinOp::Mul : BinOp::Div, L, R);
+    }
+    return L;
+  }
+
+  const Expr *parsePrimary() {
+    const Token &T = Lex.peek();
+    if (T.Kind == TokKind::Number) {
+      int64_t V = Lex.take().IntValue;
+      return F->constInt(ElemType::I32, V);
+    }
+    if (T.Kind == TokKind::Float) {
+      double V = Lex.take().FloatValue;
+      return F->constFloat(ElemType::F32, V);
+    }
+    if (T.Kind == TokKind::Punct && T.Text == "(") {
+      Lex.take();
+      const Expr *E = parseExpr();
+      if (!E || !expectPunct(")"))
+        return nullptr;
+      return E;
+    }
+    if (T.Kind != TokKind::Ident) {
+      fail("expected an expression");
+      return nullptr;
+    }
+    // (size/char comparison sidesteps a GCC 12 -Wmaybe-uninitialized
+    // false positive on the string equality path.)
+    std::string Name = Lex.take().Text;
+    if (Name.size() == 1 && Name[0] == 'i')
+      return F->indexRef();
+    if (Name == "min" || Name == "max") {
+      if (!expectPunct("("))
+        return nullptr;
+      const Expr *A = parseExpr();
+      if (!A || !expectPunct(","))
+        return nullptr;
+      const Expr *B = parseExpr();
+      if (!B || !expectPunct(")"))
+        return nullptr;
+      coerce(A, B);
+      return F->binary(Name == "min" ? BinOp::Min : BinOp::Max, A, B);
+    }
+    if (isPunct("[")) {
+      auto It = Arrays.find(Name);
+      if (It == Arrays.end()) {
+        fail("unknown array '" + Name + "'");
+        return nullptr;
+      }
+      Lex.take();
+      const Expr *Index = parseExpr();
+      if (!Index || !expectPunct("]"))
+        return nullptr;
+      return F->arrayRef(It->second, Index);
+    }
+    auto It = Scalars.find(Name);
+    if (It == Scalars.end()) {
+      fail("unknown identifier '" + Name + "'");
+      return nullptr;
+    }
+    return F->scalarRef(It->second);
+  }
+
+  Lexer Lex;
+  std::unique_ptr<LoopFunction> F;
+  std::map<std::string, int> Scalars;
+  std::map<std::string, int> Arrays;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult ir::parseLoop(const std::string &Source) {
+  Parser P(Source);
+  return P.run();
+}

@@ -1,0 +1,378 @@
+//===- isa/AsmParser.cpp --------------------------------------------------===//
+
+#include "isa/AsmParser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace flexvec;
+using namespace flexvec::isa;
+
+namespace {
+
+/// Opcodes that print no destination register.
+bool opcodeHasDst(Opcode Op) {
+  switch (Op) {
+  case Opcode::Halt:
+  case Opcode::Nop:
+  case Opcode::Jmp:
+  case Opcode::BrZero:
+  case Opcode::BrNonZero:
+  case Opcode::Store:
+  case Opcode::VStore:
+  case Opcode::VScatter:
+  case Opcode::XBegin:
+  case Opcode::XEnd:
+  case Opcode::XAbort:
+    return false;
+  default:
+    return true;
+  }
+}
+
+const std::map<std::string, Opcode> &opcodeTable() {
+  static std::map<std::string, Opcode> Table = [] {
+    std::map<std::string, Opcode> T;
+    for (unsigned O = 0; O < NumOpcodes; ++O)
+      T[opcodeName(static_cast<Opcode>(O))] = static_cast<Opcode>(O);
+    return T;
+  }();
+  return Table;
+}
+
+bool parseCmpKind(const std::string &S, CmpKind &K) {
+  static const std::map<std::string, CmpKind> Table = {
+      {"eq", CmpKind::EQ}, {"ne", CmpKind::NE}, {"lt", CmpKind::LT},
+      {"le", CmpKind::LE}, {"gt", CmpKind::GT}, {"ge", CmpKind::GE},
+  };
+  auto It = Table.find(S);
+  if (It == Table.end())
+    return false;
+  K = It->second;
+  return true;
+}
+
+bool parseElemType(const std::string &S, ElemType &Ty) {
+  static const std::map<std::string, ElemType> Table = {
+      {"i32", ElemType::I32},
+      {"i64", ElemType::I64},
+      {"f32", ElemType::F32},
+      {"f64", ElemType::F64},
+  };
+  auto It = Table.find(S);
+  if (It == Table.end())
+    return false;
+  Ty = It->second;
+  return true;
+}
+
+bool parseReg(const std::string &S, Reg &R) {
+  if (S.size() < 2)
+    return false;
+  char C = S[0];
+  for (size_t I = 1; I < S.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+  unsigned Index = static_cast<unsigned>(std::stoul(S.substr(1)));
+  if (C == 'r' && Index < NumScalarRegs) {
+    R = Reg::scalar(Index);
+    return true;
+  }
+  if (C == 'v' && Index < NumVectorRegs) {
+    R = Reg::vector(Index);
+    return true;
+  }
+  if (C == 'k' && Index < NumMaskRegs) {
+    R = Reg::mask(Index);
+    return true;
+  }
+  return false;
+}
+
+struct Assembler {
+  std::string Error;
+  int Line = 0;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  /// Splits an operand string on top-level commas (brackets/braces keep
+  /// their contents together).
+  static std::vector<std::string> splitOperands(const std::string &S) {
+    std::vector<std::string> Out;
+    std::string Cur;
+    int Depth = 0;
+    for (char C : S) {
+      if (C == '[' || C == '{')
+        ++Depth;
+      if (C == ']' || C == '}')
+        --Depth;
+      if (C == ',' && Depth == 0) {
+        Out.push_back(Cur);
+        Cur.clear();
+        continue;
+      }
+      Cur += C;
+    }
+    if (!Cur.empty())
+      Out.push_back(Cur);
+    for (std::string &T : Out) {
+      size_t B = T.find_first_not_of(" \t");
+      size_t E = T.find_last_not_of(" \t");
+      T = B == std::string::npos ? "" : T.substr(B, E - B + 1);
+    }
+    return Out;
+  }
+
+  bool parseMemOperand(const std::string &S, Instruction &I) {
+    // [rB + xI*S + D] with each piece optional after the base.
+    if (S.size() < 2 || S.front() != '[' || S.back() != ']')
+      return fail("malformed memory operand '" + S + "'");
+    std::string Body = S.substr(1, S.size() - 2);
+    std::vector<std::string> Parts;
+    std::string Cur;
+    for (char C : Body) {
+      if (C == '+') {
+        Parts.push_back(Cur);
+        Cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(C))) {
+        Cur += C;
+      }
+    }
+    Parts.push_back(Cur);
+    if (Parts.empty() || Parts[0].empty())
+      return fail("memory operand needs a base register");
+    if (!parseReg(Parts[0], I.Src1) || !I.Src1.isScalar())
+      return fail("bad base register '" + Parts[0] + "'");
+    for (size_t P = 1; P < Parts.size(); ++P) {
+      const std::string &Part = Parts[P];
+      if (Part.empty())
+        return fail("empty memory operand component");
+      if (std::isdigit(static_cast<unsigned char>(Part[0])) ||
+          Part[0] == '-') {
+        I.Disp = std::stoll(Part);
+        continue;
+      }
+      // Register with optional *scale.
+      size_t Star = Part.find('*');
+      std::string RegText = Star == std::string::npos ? Part
+                                                      : Part.substr(0, Star);
+      if (!parseReg(RegText, I.Src2))
+        return fail("bad index register '" + RegText + "'");
+      if (Star != std::string::npos)
+        I.Scale = static_cast<uint8_t>(std::stoul(Part.substr(Star + 1)));
+    }
+    return true;
+  }
+
+  /// Parses one instruction line (mnemonic + operands, no label/comment).
+  bool parseInstruction(const std::string &Text, Instruction &I,
+                        std::string &TargetLabel) {
+    std::istringstream In(Text);
+    std::string Mnemonic;
+    In >> Mnemonic;
+    if (Mnemonic.empty())
+      return fail("missing mnemonic");
+
+    // Greedy opcode match over dot-joined prefixes ("kftm.exc" has a dot).
+    std::vector<std::string> Segs;
+    {
+      std::string Seg;
+      std::istringstream MS(Mnemonic);
+      while (std::getline(MS, Seg, '.'))
+        Segs.push_back(Seg);
+    }
+    size_t Used = 0;
+    std::string Candidate;
+    for (size_t N = Segs.size(); N >= 1; --N) {
+      Candidate.clear();
+      for (size_t S = 0; S < N; ++S)
+        Candidate += (S ? "." : "") + Segs[S];
+      if (opcodeTable().count(Candidate)) {
+        Used = N;
+        break;
+      }
+    }
+    if (Used == 0)
+      return fail("unknown mnemonic '" + Mnemonic + "'");
+    I.Op = opcodeTable().at(Candidate);
+    // Remaining segments: optional condition, optional element type.
+    for (size_t S = Used; S < Segs.size(); ++S) {
+      CmpKind K;
+      ElemType Ty;
+      if (parseCmpKind(Segs[S], K))
+        I.Cond = K;
+      else if (parseElemType(Segs[S], Ty))
+        I.Type = Ty;
+      else
+        return fail("bad mnemonic suffix '." + Segs[S] + "'");
+    }
+
+    std::string Rest;
+    std::getline(In, Rest);
+    std::vector<std::string> Ops = splitOperands(Rest);
+
+    bool SawDst = false;
+    int SrcSlot = 0;
+    bool IsMem = false;
+    for (const std::string &Op : Ops) {
+      if (Op.empty())
+        continue;
+      if (Op.front() == '{') {
+        if (Op.back() != '}')
+          return fail("malformed write mask '" + Op + "'");
+        if (!parseReg(Op.substr(1, Op.size() - 2), I.MaskReg))
+          return fail("bad mask register in '" + Op + "'");
+        continue;
+      }
+      if (Op.front() == '[') {
+        if (!parseMemOperand(Op, I))
+          return false;
+        IsMem = true;
+        SrcSlot = 2; // Stored value (if any) lands in Src3.
+        continue;
+      }
+      if (Op.front() == '@') {
+        std::string T = Op.substr(1);
+        if (!T.empty() && (std::isdigit(static_cast<unsigned char>(T[0]))))
+          I.Target = static_cast<int32_t>(std::stol(T));
+        else
+          TargetLabel = T;
+        continue;
+      }
+      Reg R;
+      if (parseReg(Op, R)) {
+        if (!SawDst && opcodeHasDst(I.Op) && !IsMem) {
+          I.Dst = R;
+          SawDst = true;
+        } else if (!SawDst && opcodeHasDst(I.Op) && IsMem) {
+          // Destination printed before the memory operand for loads; it
+          // can only appear here for loads that list [mem] first, which
+          // the disassembler never does, so treat as source.
+          I.Dst = R;
+          SawDst = true;
+        } else {
+          switch (SrcSlot++) {
+          case 0:
+            I.Src1 = R;
+            break;
+          case 1:
+            I.Src2 = R;
+            break;
+          case 2:
+            I.Src3 = R;
+            break;
+          default:
+            return fail("too many register operands");
+          }
+        }
+        continue;
+      }
+      // Immediate.
+      char *End = nullptr;
+      long long V = std::strtoll(Op.c_str(), &End, 0);
+      if (End && *End == '\0') {
+        I.Imm = V;
+        continue;
+      }
+      return fail("unrecognized operand '" + Op + "'");
+    }
+    return true;
+  }
+
+  AsmResult run(const std::string &Source) {
+    AsmResult Result;
+    std::vector<Instruction> Instrs;
+    std::vector<std::pair<size_t, std::string>> Fixups;
+    std::map<std::string, int32_t> Labels;
+
+    std::istringstream In(Source);
+    std::string RawLine;
+    while (std::getline(In, RawLine)) {
+      ++Line;
+      std::string Text = RawLine;
+      // Strip comment.
+      std::string Comment;
+      size_t Semi = Text.find(';');
+      if (Semi != std::string::npos) {
+        Comment = Text.substr(Semi + 1);
+        size_t B = Comment.find_first_not_of(" \t");
+        Comment = B == std::string::npos ? "" : Comment.substr(B);
+        Text = Text.substr(0, Semi);
+      }
+      // Trim.
+      size_t B = Text.find_first_not_of(" \t");
+      if (B == std::string::npos)
+        continue;
+      size_t E = Text.find_last_not_of(" \t");
+      Text = Text.substr(B, E - B + 1);
+
+      // Leading "LABEL:" — numeric labels (disassembler indices) are
+      // positional decoration and are ignored; symbolic labels bind.
+      size_t Colon = Text.find(':');
+      if (Colon != std::string::npos) {
+        std::string Label = Text.substr(0, Colon);
+        bool Numeric = !Label.empty();
+        bool Symbolic = !Label.empty();
+        for (char C : Label) {
+          Numeric &= std::isdigit(static_cast<unsigned char>(C)) != 0;
+          Symbolic &= (std::isalnum(static_cast<unsigned char>(C)) ||
+                       C == '_') != 0;
+        }
+        if (Numeric || (Symbolic && Label.find(' ') == std::string::npos)) {
+          if (!Numeric)
+            Labels[Label] = static_cast<int32_t>(Instrs.size());
+          Text = Text.substr(Colon + 1);
+          size_t B2 = Text.find_first_not_of(" \t");
+          if (B2 == std::string::npos)
+            continue; // Label-only line.
+          Text = Text.substr(B2);
+        }
+      }
+
+      Instruction I;
+      std::string TargetLabel;
+      if (!parseInstruction(Text, I, TargetLabel)) {
+        Result.Error = Error;
+        return Result;
+      }
+      I.Comment = Comment;
+      if (!TargetLabel.empty())
+        Fixups.emplace_back(Instrs.size(), TargetLabel);
+      Instrs.push_back(std::move(I));
+    }
+
+    for (auto &[Idx, Label] : Fixups) {
+      auto It = Labels.find(Label);
+      if (It == Labels.end()) {
+        Result.Error = "undefined label '" + Label + "'";
+        return Result;
+      }
+      Instrs[Idx].Target = It->second;
+    }
+    for (size_t I = 0; I < Instrs.size(); ++I) {
+      if (Instrs[I].Target != NoTarget &&
+          (Instrs[I].Target < 0 ||
+           static_cast<size_t>(Instrs[I].Target) >= Instrs.size())) {
+        Result.Error = "branch target out of range at instruction " +
+                       std::to_string(I);
+        return Result;
+      }
+    }
+    Result.Prog = Program(std::move(Instrs));
+    Result.Ok = true;
+    return Result;
+  }
+};
+
+} // namespace
+
+AsmResult isa::assembleProgram(const std::string &Source) {
+  Assembler A;
+  return A.run(Source);
+}

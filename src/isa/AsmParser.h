@@ -1,0 +1,43 @@
+//===- isa/AsmParser.h - Assembly text parser -------------------*- C++ -*-===//
+//
+// Parses the textual form produced by Program::disassemble() (and written
+// by hand in tests) back into an executable Program, completing the
+// ISA tool chain: build → disassemble → parse → run round-trips.
+//
+// Accepted line forms:
+//
+//     [LABEL:]  MNEMONIC[.cond][.type] operands...   [; comment]
+//
+// Operands follow the disassembler: registers (r0.., v0.., k0..),
+// write-masks in braces ({k1}), memory operands ([rB + rI*S + D] or
+// [rB + vI*S + D]), immediates, and branch targets as @LABEL (symbolic)
+// or @N (absolute instruction index, as the disassembler prints).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_ISA_ASMPARSER_H
+#define FLEXVEC_ISA_ASMPARSER_H
+
+#include "isa/Program.h"
+
+#include <string>
+
+namespace flexvec {
+namespace isa {
+
+/// Result of assembling: the program or a line-tagged diagnostic.
+struct AsmResult {
+  Program Prog;
+  bool Ok = false;
+  std::string Error;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Assembles \p Source into a Program.
+AsmResult assembleProgram(const std::string &Source);
+
+} // namespace isa
+} // namespace flexvec
+
+#endif // FLEXVEC_ISA_ASMPARSER_H

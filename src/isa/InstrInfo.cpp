@@ -1,0 +1,133 @@
+//===- isa/InstrInfo.cpp --------------------------------------------------===//
+
+#include "isa/InstrInfo.h"
+
+#include "support/Error.h"
+
+#include <array>
+
+using namespace flexvec;
+using namespace flexvec::isa;
+
+namespace {
+
+std::array<InstrTiming, NumOpcodes> buildTimingTable() {
+  std::array<InstrTiming, NumOpcodes> T{};
+  auto set = [&T](Opcode Op, unsigned Lat, double Tput, PortKind Port,
+                  unsigned Uops = 1, unsigned LanesPerMemUop = 0) {
+    T[static_cast<unsigned>(Op)] =
+        InstrTiming{Lat, Tput, Port, Uops, LanesPerMemUop};
+  };
+
+  // Control.
+  set(Opcode::Halt, 1, 1, PortKind::None, 0);
+  set(Opcode::Nop, 1, 0.25, PortKind::None, 0);
+  set(Opcode::Jmp, 1, 1, PortKind::Branch);
+  set(Opcode::BrZero, 1, 1, PortKind::ALU);
+  set(Opcode::BrNonZero, 1, 1, PortKind::ALU);
+
+  // Scalar integer: single-cycle ALU except multiply/divide.
+  for (Opcode Op : {Opcode::MovImm, Opcode::Mov, Opcode::Add, Opcode::Sub,
+                    Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Shl,
+                    Opcode::Shr, Opcode::AddImm, Opcode::AndImm,
+                    Opcode::ShlImm, Opcode::ShrImm, Opcode::Min, Opcode::Max,
+                    Opcode::Cmp, Opcode::CmpImm, Opcode::Select})
+    set(Op, 1, 0.25, PortKind::ALU);
+  set(Opcode::Mul, 3, 1, PortKind::Mul);
+  set(Opcode::MulImm, 3, 1, PortKind::Mul);
+  set(Opcode::Div, 21, 10, PortKind::Mul, 4);
+
+  // Scalar floating point.
+  set(Opcode::FMovImm, 1, 0.5, PortKind::FP);
+  set(Opcode::FAdd, 4, 0.5, PortKind::FP);
+  set(Opcode::FSub, 4, 0.5, PortKind::FP);
+  set(Opcode::FMul, 4, 0.5, PortKind::FP);
+  set(Opcode::FDiv, 14, 4, PortKind::FP);
+  set(Opcode::FMin, 4, 0.5, PortKind::FP);
+  set(Opcode::FMax, 4, 0.5, PortKind::FP);
+  set(Opcode::FCmp, 4, 0.5, PortKind::FP);
+
+  // Scalar memory. Latency here covers address generation; the cache model
+  // adds the hierarchy latency (Table 1: 4-cycle L1 load-to-use).
+  set(Opcode::Load, 1, 0.5, PortKind::Load);
+  set(Opcode::Store, 1, 1, PortKind::Store);
+
+  // Vector integer.
+  for (Opcode Op : {Opcode::VAdd, Opcode::VSub, Opcode::VAnd, Opcode::VOr,
+                    Opcode::VXor, Opcode::VMin, Opcode::VMax, Opcode::VAddImm,
+                    Opcode::VShlImm})
+    set(Op, 1, 0.5, PortKind::Vec);
+  set(Opcode::VMul, 5, 1, PortKind::Vec, 2);
+  set(Opcode::VMulImm, 5, 1, PortKind::Vec, 2);
+  set(Opcode::VBroadcast, 3, 1, PortKind::Vec);
+  set(Opcode::VBroadcastImm, 3, 1, PortKind::Vec);
+  set(Opcode::VIndex, 1, 0.5, PortKind::Vec);
+  set(Opcode::VBlend, 1, 0.5, PortKind::Vec);
+
+  // Vector floating point.
+  for (Opcode Op : {Opcode::VFAdd, Opcode::VFSub, Opcode::VFMul,
+                    Opcode::VFMin, Opcode::VFMax})
+    set(Op, 4, 0.5, PortKind::Vec);
+  set(Opcode::VFDiv, 16, 8, PortKind::Vec, 2);
+
+  // Compares write mask registers (3-cycle k-register forwarding, AVX-512).
+  set(Opcode::VCmp, 3, 1, PortKind::Vec);
+  set(Opcode::VCmpImm, 3, 1, PortKind::Vec);
+
+  // Horizontal operations.
+  set(Opcode::VExtractLast, 3, 1, PortKind::Vec, 2);
+  set(Opcode::VReduceAdd, 8, 2, PortKind::Vec, 4);
+  set(Opcode::VReduceMin, 8, 2, PortKind::Vec, 4);
+  set(Opcode::VReduceMax, 8, 2, PortKind::Vec, 4);
+
+  // Vector memory. Contiguous accesses are single memory uops; gathers and
+  // scatters expand to one memory uop per active lane (2 load ports sustain
+  // the paper's 2 loads per cycle).
+  set(Opcode::VLoad, 1, 0.5, PortKind::Load);
+  set(Opcode::VStore, 1, 1, PortKind::Store);
+  set(Opcode::VGather, 1, 0.5, PortKind::Load, 1, /*LanesPerMemUop=*/1);
+  set(Opcode::VScatter, 1, 1, PortKind::Store, 1, /*LanesPerMemUop=*/1);
+
+  // FlexVec extensions: Table 1 (bottom).
+  set(Opcode::VMovFF, 1, 0.5, PortKind::Load);
+  set(Opcode::VGatherFF, 1, 0.5, PortKind::Load, 1, /*LanesPerMemUop=*/1);
+  set(Opcode::VSlctLast, 3, 1, PortKind::Vec);
+  set(Opcode::VConflictM, 20, 2, PortKind::Vec, 8);
+  set(Opcode::KFtmExc, 2, 1, PortKind::Vec);
+  set(Opcode::KFtmInc, 2, 1, PortKind::Vec);
+
+  // Mask manipulation (single-cycle, mask unit shares the vector ports).
+  for (Opcode Op : {Opcode::KMov, Opcode::KSet, Opcode::KAnd, Opcode::KOr,
+                    Opcode::KXor, Opcode::KAndN, Opcode::KNot})
+    set(Op, 1, 0.5, PortKind::Vec);
+  set(Opcode::KTest, 2, 1, PortKind::ALU);
+  set(Opcode::KPopcnt, 2, 1, PortKind::ALU);
+
+  // RTM begin/commit overhead, in the spirit of Haswell TSX measurements.
+  set(Opcode::XBegin, 16, 16, PortKind::ALU, 5);
+  set(Opcode::XEnd, 16, 16, PortKind::ALU, 5);
+  set(Opcode::XAbort, 8, 8, PortKind::ALU, 2);
+
+  return T;
+}
+
+const std::array<InstrTiming, NumOpcodes> TimingTable = buildTimingTable();
+
+} // namespace
+
+const InstrTiming &isa::instrTiming(Opcode Op) {
+  return TimingTable[static_cast<unsigned>(Op)];
+}
+
+unsigned isa::uopCount(const Instruction &I, unsigned ActiveLanes) {
+  const InstrTiming &T = instrTiming(I.Op);
+  if (T.LanesPerMemUop == 0)
+    return T.FixedUops;
+  // Gather/scatter-style expansion: address-generation uop(s) plus one
+  // memory uop per LanesPerMemUop active lanes (at least one).
+  unsigned MemUops =
+      (ActiveLanes + T.LanesPerMemUop - 1) / T.LanesPerMemUop;
+  if (MemUops == 0)
+    MemUops = 1;
+  return T.FixedUops + MemUops;
+}

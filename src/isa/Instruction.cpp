@@ -1,0 +1,180 @@
+//===- isa/Instruction.cpp ------------------------------------------------===//
+
+#include "isa/Instruction.h"
+
+#include <cstdio>
+
+using namespace flexvec;
+using namespace flexvec::isa;
+
+const char *isa::elemTypeName(ElemType Ty) {
+  switch (Ty) {
+  case ElemType::I32:
+    return "i32";
+  case ElemType::I64:
+    return "i64";
+  case ElemType::F32:
+    return "f32";
+  case ElemType::F64:
+    return "f64";
+  }
+  return "?";
+}
+
+std::string Reg::str() const {
+  char Buf[8];
+  switch (Class) {
+  case RegClass::None:
+    return "<none>";
+  case RegClass::Scalar:
+    std::snprintf(Buf, sizeof(Buf), "r%u", Index);
+    return Buf;
+  case RegClass::Vector:
+    std::snprintf(Buf, sizeof(Buf), "v%u", Index);
+    return Buf;
+  case RegClass::Mask:
+    std::snprintf(Buf, sizeof(Buf), "k%u", Index);
+    return Buf;
+  }
+  return "<bad>";
+}
+
+bool Instruction::isVector() const {
+  switch (Op) {
+  case Opcode::VBroadcast:
+  case Opcode::VBroadcastImm:
+  case Opcode::VIndex:
+  case Opcode::VAdd:
+  case Opcode::VSub:
+  case Opcode::VMul:
+  case Opcode::VAnd:
+  case Opcode::VOr:
+  case Opcode::VXor:
+  case Opcode::VMin:
+  case Opcode::VMax:
+  case Opcode::VAddImm:
+  case Opcode::VMulImm:
+  case Opcode::VShlImm:
+  case Opcode::VFAdd:
+  case Opcode::VFSub:
+  case Opcode::VFMul:
+  case Opcode::VFDiv:
+  case Opcode::VFMin:
+  case Opcode::VFMax:
+  case Opcode::VCmp:
+  case Opcode::VCmpImm:
+  case Opcode::VBlend:
+  case Opcode::VExtractLast:
+  case Opcode::VReduceAdd:
+  case Opcode::VReduceMin:
+  case Opcode::VReduceMax:
+  case Opcode::VLoad:
+  case Opcode::VStore:
+  case Opcode::VGather:
+  case Opcode::VScatter:
+  case Opcode::VMovFF:
+  case Opcode::VGatherFF:
+  case Opcode::VSlctLast:
+  case Opcode::VConflictM:
+  case Opcode::KFtmExc:
+  case Opcode::KFtmInc:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string Instruction::str() const {
+  std::string Out = opcodeName(Op);
+  switch (Op) {
+  case Opcode::Cmp:
+  case Opcode::CmpImm:
+  case Opcode::FCmp:
+  case Opcode::VCmp:
+  case Opcode::VCmpImm:
+    Out += '.';
+    Out += cmpKindName(Cond);
+    break;
+  default:
+    break;
+  }
+  if (isVector() || Op == Opcode::Load || Op == Opcode::Store ||
+      Op == Opcode::FMovImm) {
+    Out += '.';
+    Out += elemTypeName(Type);
+  }
+
+  bool FirstOperand = true;
+  auto appendOperand = [&Out, &FirstOperand](const std::string &S) {
+    Out += FirstOperand ? " " : ", ";
+    FirstOperand = false;
+    Out += S;
+  };
+
+  if (Dst.isValid())
+    appendOperand(Dst.str());
+  if (MaskReg.isValid())
+    appendOperand("{" + MaskReg.str() + "}");
+
+  if (isMemory()) {
+    std::string Mem = "[" + Src1.str();
+    if (Src2.isValid()) {
+      Mem += " + " + Src2.str();
+      if (Scale != 1) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "*%u", Scale);
+        Mem += Buf;
+      }
+    }
+    if (Disp != 0) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), " + %lld", static_cast<long long>(Disp));
+      Mem += Buf;
+    }
+    Mem += "]";
+    appendOperand(Mem);
+    if (Src3.isValid())
+      appendOperand(Src3.str());
+  } else {
+    if (Src1.isValid())
+      appendOperand(Src1.str());
+    if (Src2.isValid())
+      appendOperand(Src2.str());
+    if (Src3.isValid())
+      appendOperand(Src3.str());
+  }
+
+  switch (Op) {
+  case Opcode::MovImm:
+  case Opcode::FMovImm:
+  case Opcode::AddImm:
+  case Opcode::MulImm:
+  case Opcode::AndImm:
+  case Opcode::ShlImm:
+  case Opcode::ShrImm:
+  case Opcode::CmpImm:
+  case Opcode::VBroadcastImm:
+  case Opcode::VAddImm:
+  case Opcode::VMulImm:
+  case Opcode::VShlImm:
+  case Opcode::VCmpImm:
+  case Opcode::KSet: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Imm));
+    appendOperand(Buf);
+    break;
+  }
+  default:
+    break;
+  }
+
+  if (Target != NoTarget) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "@%d", Target);
+    appendOperand(Buf);
+  }
+
+  if (!Comment.empty())
+    Out += "    ; " + Comment;
+  return Out;
+}

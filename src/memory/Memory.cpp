@@ -1,0 +1,172 @@
+//===- memory/Memory.cpp --------------------------------------------------===//
+
+#include "memory/Memory.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::mem;
+
+void Memory::checkOk(const AccessResult &R) {
+  if (!R.Ok)
+    fatalError("unexpected memory fault at address " +
+               std::to_string(R.FaultAddr));
+}
+
+const Memory::Page *Memory::findPage(uint64_t PageIdx) const {
+  auto It = Pages.find(PageIdx);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+Memory::Page *Memory::findPage(uint64_t PageIdx) {
+  auto It = Pages.find(PageIdx);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+void Memory::map(uint64_t Addr, uint64_t Size, uint8_t Perms) {
+  assert(Size > 0 && "cannot map an empty range");
+  uint64_t First = Addr / PageSize;
+  uint64_t Last = (Addr + Size - 1) / PageSize;
+  for (uint64_t P = First; P <= Last; ++P) {
+    Page *Existing = findPage(P);
+    if (Existing) {
+      Existing->Perms = Perms;
+      continue;
+    }
+    auto NewPage = std::make_unique<Page>();
+    NewPage->Data.fill(0);
+    NewPage->Perms = Perms;
+    Pages.emplace(P, std::move(NewPage));
+  }
+}
+
+void Memory::unmap(uint64_t Addr, uint64_t Size) {
+  assert(Size > 0 && "cannot unmap an empty range");
+  uint64_t First = Addr / PageSize;
+  uint64_t Last = (Addr + Size - 1) / PageSize;
+  for (uint64_t P = First; P <= Last; ++P)
+    Pages.erase(P);
+}
+
+bool Memory::isAccessible(uint64_t Addr, uint64_t Size, uint8_t Perms) const {
+  if (Size == 0)
+    return true;
+  uint64_t First = Addr / PageSize;
+  uint64_t Last = (Addr + Size - 1) / PageSize;
+  for (uint64_t P = First; P <= Last; ++P) {
+    const Page *Pg = findPage(P);
+    if (!Pg || (Pg->Perms & Perms) != Perms)
+      return false;
+  }
+  return true;
+}
+
+AccessResult Memory::read(uint64_t Addr, void *Out, uint64_t Size) const {
+  // Validate the whole range first so faulting reads have no partial effect.
+  uint64_t First = Addr / PageSize;
+  uint64_t Last = Size ? (Addr + Size - 1) / PageSize : First;
+  for (uint64_t P = First; P <= Last; ++P) {
+    const Page *Pg = findPage(P);
+    if (!Pg || !(Pg->Perms & PermRead)) {
+      uint64_t FaultAddr = P == First ? Addr : P * PageSize;
+      return AccessResult::fault(FaultAddr);
+    }
+  }
+  uint8_t *Dst = static_cast<uint8_t *>(Out);
+  uint64_t Remaining = Size;
+  uint64_t Cur = Addr;
+  while (Remaining) {
+    const Page *Pg = findPage(Cur / PageSize);
+    uint64_t Off = Cur & PageMask;
+    uint64_t Chunk = std::min<uint64_t>(Remaining, PageSize - Off);
+    std::memcpy(Dst, Pg->Data.data() + Off, Chunk);
+    Dst += Chunk;
+    Cur += Chunk;
+    Remaining -= Chunk;
+  }
+  return AccessResult::success();
+}
+
+AccessResult Memory::write(uint64_t Addr, const void *Data, uint64_t Size) {
+  uint64_t First = Addr / PageSize;
+  uint64_t Last = Size ? (Addr + Size - 1) / PageSize : First;
+  for (uint64_t P = First; P <= Last; ++P) {
+    const Page *Pg = findPage(P);
+    if (!Pg || !(Pg->Perms & PermWrite)) {
+      uint64_t FaultAddr = P == First ? Addr : P * PageSize;
+      return AccessResult::fault(FaultAddr);
+    }
+  }
+  const uint8_t *Src = static_cast<const uint8_t *>(Data);
+  uint64_t Remaining = Size;
+  uint64_t Cur = Addr;
+  while (Remaining) {
+    Page *Pg = findPage(Cur / PageSize);
+    uint64_t Off = Cur & PageMask;
+    uint64_t Chunk = std::min<uint64_t>(Remaining, PageSize - Off);
+    std::memcpy(Pg->Data.data() + Off, Src, Chunk);
+    Src += Chunk;
+    Cur += Chunk;
+    Remaining -= Chunk;
+  }
+  return AccessResult::success();
+}
+
+uint64_t Memory::fingerprint() const {
+  // FNV-1a over (page index, permissions, contents), in address order.
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  auto mix = [&Hash](const void *Data, size_t Size) {
+    const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I < Size; ++I) {
+      Hash ^= Bytes[I];
+      Hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto &[Idx, Pg] : Pages) {
+    mix(&Idx, sizeof(Idx));
+    mix(&Pg->Perms, sizeof(Pg->Perms));
+    mix(Pg->Data.data(), Pg->Data.size());
+  }
+  return Hash;
+}
+
+Memory Memory::clone() const {
+  Memory Copy;
+  for (const auto &[Idx, Pg] : Pages) {
+    auto NewPage = std::make_unique<Page>(*Pg);
+    Copy.Pages.emplace(Idx, std::move(NewPage));
+  }
+  return Copy;
+}
+
+bool Memory::contentsEqual(const Memory &Other) const {
+  if (Pages.size() != Other.Pages.size())
+    return false;
+  auto ItA = Pages.begin();
+  auto ItB = Other.Pages.begin();
+  for (; ItA != Pages.end(); ++ItA, ++ItB) {
+    if (ItA->first != ItB->first)
+      return false;
+    if (ItA->second->Perms != ItB->second->Perms)
+      return false;
+    if (ItA->second->Data != ItB->second->Data)
+      return false;
+  }
+  return true;
+}
+
+uint64_t BumpAllocator::alloc(uint64_t Size, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  Next = (Next + Align - 1) & ~(Align - 1);
+  uint64_t Addr = Next;
+  if (Size == 0)
+    Size = 1;
+  M.map(Addr, Size, PermReadWrite);
+  // Advance past the allocation and one unmapped guard page so speculative
+  // vector loads that run off the end of an array genuinely fault.
+  Next = ((Addr + Size + PageSize - 1) / PageSize + 1) * PageSize;
+  return Addr;
+}

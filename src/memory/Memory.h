@@ -1,0 +1,145 @@
+//===- memory/Memory.h - Sparse paged address space -------------*- C++ -*-===//
+//
+// A sparse, 64-bit, paged memory model with per-page permissions. Accesses
+// to unmapped or permission-violating addresses report faults rather than
+// aborting, which is what the first-faulting FlexVec loads (Section 3.3.1)
+// and the RTM abort path (Section 3.3.2) are built on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_MEMORY_MEMORY_H
+#define FLEXVEC_MEMORY_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace flexvec {
+namespace mem {
+
+inline constexpr uint64_t PageSize = 4096;
+inline constexpr uint64_t PageMask = PageSize - 1;
+
+/// Page permission bits.
+enum PagePerms : uint8_t {
+  PermNone = 0,
+  PermRead = 1,
+  PermWrite = 2,
+  PermReadWrite = PermRead | PermWrite,
+};
+
+/// Outcome of a memory access. Faulting accesses perform no partial work.
+struct AccessResult {
+  bool Ok = true;
+  uint64_t FaultAddr = 0;
+
+  static AccessResult success() { return {}; }
+  static AccessResult fault(uint64_t Addr) { return {false, Addr}; }
+};
+
+/// The sparse paged address space.
+class Memory {
+public:
+  Memory() = default;
+  Memory(const Memory &) = delete;
+  Memory &operator=(const Memory &) = delete;
+  Memory(Memory &&) = default;
+  Memory &operator=(Memory &&) = default;
+
+  /// Maps [Addr, Addr+Size) with \p Perms; Addr and Size need not be
+  /// page-aligned (the covering pages are mapped). Newly mapped pages are
+  /// zero-filled. Re-mapping updates permissions and preserves contents.
+  void map(uint64_t Addr, uint64_t Size, uint8_t Perms = PermReadWrite);
+
+  /// Unmaps all pages covering [Addr, Addr+Size).
+  void unmap(uint64_t Addr, uint64_t Size);
+
+  /// True if every byte of [Addr, Addr+Size) is mapped with \p Perms.
+  bool isAccessible(uint64_t Addr, uint64_t Size, uint8_t Perms) const;
+
+  /// Reads \p Size bytes into \p Out. On fault nothing is written.
+  AccessResult read(uint64_t Addr, void *Out, uint64_t Size) const;
+
+  /// Writes \p Size bytes. On fault nothing is modified.
+  AccessResult write(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Typed helpers; fault behaviour as read()/write().
+  template <typename T> AccessResult readValue(uint64_t Addr, T &Out) const {
+    return read(Addr, &Out, sizeof(T));
+  }
+  template <typename T> AccessResult writeValue(uint64_t Addr, T Value) {
+    return write(Addr, &Value, sizeof(T));
+  }
+
+  /// Convenience accessors for tests/workloads: abort on fault.
+  template <typename T> T get(uint64_t Addr) const {
+    T V{};
+    AccessResult R = readValue(Addr, V);
+    checkOk(R);
+    return V;
+  }
+  template <typename T> void set(uint64_t Addr, T Value) {
+    checkOk(writeValue(Addr, Value));
+  }
+
+  /// Number of mapped pages.
+  size_t numPages() const { return Pages.size(); }
+
+  /// Order-independent digest of the mapped contents, used to compare final
+  /// memory images across scalar and vectorized executions.
+  uint64_t fingerprint() const;
+
+  /// Deep copy (initial images are cloned per program under test).
+  Memory clone() const;
+
+  /// Byte-wise comparison of mapped contents (and the mapped-page sets).
+  bool contentsEqual(const Memory &Other) const;
+
+private:
+  struct Page {
+    std::array<uint8_t, PageSize> Data;
+    uint8_t Perms;
+  };
+
+  static void checkOk(const AccessResult &R);
+
+  const Page *findPage(uint64_t PageIdx) const;
+  Page *findPage(uint64_t PageIdx);
+
+  // std::map keeps iteration deterministic for fingerprint/compare.
+  std::map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+/// Monotonic allocator handing out disjoint regions of a Memory, used to
+/// lay out workload data images. Leaves an unmapped guard page between
+/// allocations so out-of-bounds speculative accesses genuinely fault.
+class BumpAllocator {
+public:
+  explicit BumpAllocator(Memory &M, uint64_t Base = 0x10000)
+      : M(M), Next(Base) {}
+
+  /// Allocates \p Size bytes aligned to \p Align; maps the pages ReadWrite.
+  uint64_t alloc(uint64_t Size, uint64_t Align = 64);
+
+  /// Allocates and copies \p Values into memory; returns the base address.
+  template <typename T> uint64_t allocArray(const std::vector<T> &Values) {
+    uint64_t Addr = alloc(Values.size() * sizeof(T), 64);
+    if (!Values.empty())
+      M.write(Addr, Values.data(), Values.size() * sizeof(T));
+    return Addr;
+  }
+
+  uint64_t nextFree() const { return Next; }
+
+private:
+  Memory &M;
+  uint64_t Next;
+};
+
+} // namespace mem
+} // namespace flexvec
+
+#endif // FLEXVEC_MEMORY_MEMORY_H

@@ -1,0 +1,90 @@
+//===- profile/LoopProfiler.cpp -------------------------------------------===//
+
+#include "profile/LoopProfiler.h"
+
+using namespace flexvec;
+using namespace flexvec::profile;
+using namespace flexvec::ir;
+
+LoopProfiler::LoopProfiler(const LoopFunction &F,
+                           const analysis::VectorizationPlan &Plan,
+                           unsigned VectorLength)
+    : F(F), Plan(Plan), VL(VectorLength) {
+  IsUpdateNode.assign(static_cast<size_t>(F.numStmts()) + 1, false);
+  for (const auto &V : Plan.CondUpdateVpls)
+    for (const auto &U : V.Updates)
+      IsUpdateNode[static_cast<size_t>(U.UpdateNode)] = true;
+  IsConflictArray.assign(F.arrays().size(), false);
+  for (const auto &V : Plan.MemConflictVpls)
+    IsConflictArray[static_cast<size_t>(V.ArrayId)] = true;
+}
+
+void LoopProfiler::profileRun(mem::Memory &M, Bindings B) {
+  RecentReads.clear();
+  LastCondUpdateIter = -1;
+  LastConflictIter = -1;
+  ++Counts.Invocations;
+  Interpreter Interp(M);
+  InterpResult R = Interp.run(F, B, this);
+  Counts.Iterations += static_cast<uint64_t>(R.IterationsExecuted);
+}
+
+void LoopProfiler::onIterationStart(int64_t Iter) {
+  // Expire window entries older than one prospective vector iteration.
+  int64_t Cutoff = Iter - static_cast<int64_t>(VL) + 1;
+  size_t Keep = 0;
+  for (const Touch &T : RecentReads)
+    if (T.Iter >= Cutoff)
+      RecentReads[Keep++] = T;
+  RecentReads.resize(Keep);
+}
+
+void LoopProfiler::onScalarAssign(const Stmt *S, int64_t Iter, int64_t Old,
+                                  int64_t New) {
+  if (!IsUpdateNode[static_cast<size_t>(S->Id)])
+    return;
+  if (Old != New && Iter != LastCondUpdateIter) {
+    ++Counts.CondUpdateEvents;
+    LastCondUpdateIter = Iter;
+  }
+}
+
+void LoopProfiler::onArrayLoad(int ArrayId, int64_t Index, int64_t Iter) {
+  if (ArrayId < 0 || static_cast<size_t>(ArrayId) >= IsConflictArray.size() ||
+      !IsConflictArray[static_cast<size_t>(ArrayId)])
+    return;
+  // A read-after-write dependency fires when an earlier scalar iteration
+  // within the same prospective vector iteration stored to this slot —
+  // exactly what VPCONFLICTM detects lane-to-lane.
+  if (Iter == LastConflictIter)
+    return;
+  for (const Touch &T : RecentReads) {
+    if (T.ArrayId == ArrayId && T.Index == Index && T.Iter < Iter) {
+      ++Counts.ConflictEvents;
+      LastConflictIter = Iter;
+      break;
+    }
+  }
+}
+
+void LoopProfiler::onArrayStore(const Stmt *S, int64_t Index, int64_t Iter) {
+  if (static_cast<size_t>(S->ArrayId) >= IsConflictArray.size() ||
+      !IsConflictArray[static_cast<size_t>(S->ArrayId)])
+    return;
+  RecentReads.push_back(Touch{S->ArrayId, Index, Iter});
+}
+
+void LoopProfiler::onBreak(const Stmt *, int64_t) { ++Counts.BreakEvents; }
+
+analysis::LoopProfile LoopProfiler::summarize(double Coverage) const {
+  analysis::LoopProfile P;
+  P.Coverage = Coverage;
+  if (Counts.Invocations == 0)
+    return P;
+  P.AvgTripCount = static_cast<double>(Counts.Iterations) /
+                   static_cast<double>(Counts.Invocations);
+  P.AvgDepEvents = static_cast<double>(Counts.totalDepEvents()) /
+                   static_cast<double>(Counts.Invocations);
+  P.EffectiveVL = P.AvgTripCount / (P.AvgDepEvents + 1.0);
+  return P;
+}

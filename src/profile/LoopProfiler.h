@@ -1,0 +1,97 @@
+//===- profile/LoopProfiler.h - Pin-like loop profiler ----------*- C++ -*-===//
+//
+// The paper drives hotloop selection with a Pin-based profiling tool that
+// "detects loops with cross iteration dependency patterns ... collects
+// trip counts and the effective vector length" (Section 5). This module
+// plays that role over the reference interpreter: it observes executions
+// of a loop, counts the dynamic dependency events for each relaxed
+// pattern, and produces the LoopProfile the cost model consumes.
+//
+// Effective vector length is the paper's definition: the ratio of the
+// average trip count to the average number of times a cross-iteration
+// dependency is detected at runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_PROFILE_LOOPPROFILER_H
+#define FLEXVEC_PROFILE_LOOPPROFILER_H
+
+#include "analysis/CostModel.h"
+#include "analysis/Patterns.h"
+#include "ir/Interp.h"
+
+#include <cstdint>
+
+namespace flexvec {
+namespace profile {
+
+/// Raw event counts from one or more observed executions.
+struct ProfileCounts {
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;
+  uint64_t CondUpdateEvents = 0; ///< Relaxed scalar updates that fired.
+  uint64_t ConflictEvents = 0;   ///< Stores hitting a recently-read slot.
+  uint64_t BreakEvents = 0;      ///< Early exits taken.
+
+  uint64_t totalDepEvents() const {
+    return CondUpdateEvents + ConflictEvents + BreakEvents;
+  }
+};
+
+/// Observes interpreter executions and accumulates dependency events for
+/// the patterns in a VectorizationPlan.
+class LoopProfiler : public ir::Observer {
+public:
+  /// \p VectorLength is the hardware VL used to window conflict detection
+  /// (a store conflicts when a lane within the same prospective vector
+  /// iteration read or wrote the location).
+  LoopProfiler(const ir::LoopFunction &F,
+               const analysis::VectorizationPlan &Plan,
+               unsigned VectorLength = 16);
+
+  /// Runs one profiled execution (call any number of times).
+  void profileRun(mem::Memory &M, ir::Bindings B);
+
+  const ProfileCounts &counts() const { return Counts; }
+
+  /// Summarizes into the cost-model form; \p Coverage is supplied by the
+  /// caller (it is a whole-application property).
+  analysis::LoopProfile summarize(double Coverage) const;
+
+  // Observer callbacks.
+  void onIterationStart(int64_t Iter) override;
+  void onScalarAssign(const ir::Stmt *S, int64_t Iter, int64_t Old,
+                      int64_t New) override;
+  void onArrayLoad(int ArrayId, int64_t Index, int64_t Iter) override;
+  void onArrayStore(const ir::Stmt *S, int64_t Index, int64_t Iter) override;
+  void onBreak(const ir::Stmt *S, int64_t Iter) override;
+
+private:
+  const ir::LoopFunction &F;
+  const analysis::VectorizationPlan &Plan;
+  unsigned VL;
+
+  std::vector<bool> IsUpdateNode;   ///< By statement id.
+  std::vector<bool> IsConflictArray; ///< By array id.
+
+  /// Recently touched indices of conflict arrays within the current
+  /// VL-iteration window: (array, index, iteration).
+  struct Touch {
+    int ArrayId;
+    int64_t Index;
+    int64_t Iter;
+  };
+  std::vector<Touch> RecentReads;
+
+  // The paper counts "the number of times a cross iteration dependency is
+  // detected" — at most once per iteration per mechanism.
+  int64_t LastCondUpdateIter = -1;
+  int64_t LastConflictIter = -1;
+
+  ProfileCounts Counts;
+};
+
+} // namespace profile
+} // namespace flexvec
+
+#endif // FLEXVEC_PROFILE_LOOPPROFILER_H

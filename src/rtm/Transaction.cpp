@@ -1,0 +1,144 @@
+//===- rtm/Transaction.cpp ------------------------------------------------===//
+
+#include "rtm/Transaction.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::rtm;
+
+namespace {
+constexpr uint64_t LineBytes = 64;
+} // namespace
+
+const char *rtm::abortReasonName(AbortReason R) {
+  switch (R) {
+  case AbortReason::None:
+    return "none";
+  case AbortReason::Explicit:
+    return "explicit";
+  case AbortReason::Fault:
+    return "fault";
+  case AbortReason::Capacity:
+    return "capacity";
+  }
+  unreachable("unknown abort reason");
+}
+
+void TransactionManager::begin() {
+  if (Active)
+    fatalError("nested transactions are not supported");
+  Active = true;
+  UndoLog.clear();
+  ReadSetLines.clear();
+  WriteSetLines.clear();
+  ++Stats.Begins;
+}
+
+void TransactionManager::commit() {
+  assert(Active && "commit outside a transaction");
+  Active = false;
+  UndoLog.clear();
+  ReadSetLines.clear();
+  WriteSetLines.clear();
+  ++Stats.Commits;
+}
+
+void TransactionManager::abort(AbortReason Reason) {
+  assert(Active && "abort outside a transaction");
+  assert(Reason != AbortReason::None && "abort requires a reason");
+  // Undo tentative writes in reverse order.
+  for (auto It = UndoLog.rbegin(); It != UndoLog.rend(); ++It) {
+    mem::AccessResult R = M.write(It->Addr, It->OldBytes.data(),
+                                  It->OldBytes.size());
+    if (!R.Ok)
+      fatalError("rollback write faulted; undo log is corrupt");
+  }
+  Active = false;
+  UndoLog.clear();
+  ReadSetLines.clear();
+  WriteSetLines.clear();
+  ++Stats.Aborts;
+  switch (Reason) {
+  case AbortReason::Explicit:
+    ++Stats.AbortsExplicit;
+    break;
+  case AbortReason::Fault:
+    ++Stats.AbortsByFault;
+    break;
+  case AbortReason::Capacity:
+    ++Stats.AbortsByCapacity;
+    break;
+  case AbortReason::None:
+    break;
+  }
+}
+
+bool TransactionManager::trackFootprint(uint64_t Addr, uint64_t Size,
+                                        bool IsWrite) {
+  uint64_t First = Addr / LineBytes;
+  uint64_t Last = Size ? (Addr + Size - 1) / LineBytes : First;
+  for (uint64_t L = First; L <= Last; ++L) {
+    if (IsWrite)
+      WriteSetLines.insert(L);
+    else
+      ReadSetLines.insert(L);
+  }
+  return WriteSetLines.size() <= Limits.MaxWriteSetLines &&
+         ReadSetLines.size() <= Limits.MaxReadSetLines;
+}
+
+bool TransactionManager::read(uint64_t Addr, void *Out, uint64_t Size,
+                              AbortReason &Reason) {
+  Reason = AbortReason::None;
+  mem::AccessResult R = M.read(Addr, Out, Size);
+  if (!Active)
+    return R.Ok; // Non-transactional: fault surfaces to the machine.
+  if (!R.Ok) {
+    Reason = AbortReason::Fault;
+    abort(Reason);
+    return false;
+  }
+  if (!trackFootprint(Addr, Size, /*IsWrite=*/false)) {
+    Reason = AbortReason::Capacity;
+    abort(Reason);
+    return false;
+  }
+  return true;
+}
+
+bool TransactionManager::write(uint64_t Addr, const void *Data, uint64_t Size,
+                               AbortReason &Reason) {
+  Reason = AbortReason::None;
+  if (!Active) {
+    mem::AccessResult R = M.write(Addr, Data, Size);
+    return R.Ok;
+  }
+  // Log old contents before modifying; a failed read of the old contents is
+  // a fault on the write address range.
+  UndoRecord Rec;
+  Rec.Addr = Addr;
+  Rec.OldBytes.resize(Size);
+  mem::AccessResult Old = M.read(Addr, Rec.OldBytes.data(), Size);
+  if (!Old.Ok) {
+    Reason = AbortReason::Fault;
+    abort(Reason);
+    return false;
+  }
+  mem::AccessResult W = M.write(Addr, Data, Size);
+  if (!W.Ok) {
+    Reason = AbortReason::Fault;
+    abort(Reason);
+    return false;
+  }
+  Stats.BytesLogged += Size;
+  UndoLog.push_back(std::move(Rec));
+  if (!trackFootprint(Addr, Size, /*IsWrite=*/true)) {
+    Reason = AbortReason::Capacity;
+    abort(Reason);
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,103 @@
+//===- rtm/Transaction.h - Rollback-only transactional memory --*- C++ -*-===//
+//
+// Restricted transactional memory in the style of Intel RTM / POWER8
+// rollback-only transactions (paper Section 3.3.2). The transaction buffers
+// an undo log for memory writes and tracks read/write-set footprints in
+// cache-line granules; exceeding the capacity, touching a faulting address,
+// or an explicit XABORT rolls all tentative memory changes back.
+//
+// Register rollback is the executing machine's responsibility (it snapshots
+// the register file at XBEGIN); this class owns only the memory side.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_RTM_TRANSACTION_H
+#define FLEXVEC_RTM_TRANSACTION_H
+
+#include "memory/Memory.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace flexvec {
+namespace rtm {
+
+/// Why a transaction aborted.
+enum class AbortReason : uint8_t {
+  None,     ///< No abort (still running or committed).
+  Explicit, ///< XABORT executed.
+  Fault,    ///< A memory access inside the transaction faulted.
+  Capacity, ///< Read- or write-set exceeded the hardware buffers.
+};
+
+const char *abortReasonName(AbortReason R);
+
+/// Hardware capacity limits. Defaults approximate Haswell RTM: the write
+/// set is bounded by the L1D (32 KiB) and the read set by the L2 footprint
+/// available for tracking.
+struct TxLimits {
+  unsigned MaxWriteSetLines = 512;  ///< 512 * 64B = 32 KiB.
+  unsigned MaxReadSetLines = 4096;  ///< 4096 * 64B = 256 KiB.
+};
+
+/// Aggregate statistics across a TransactionManager's lifetime.
+struct TxStats {
+  uint64_t Begins = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  uint64_t AbortsByFault = 0;
+  uint64_t AbortsByCapacity = 0;
+  uint64_t AbortsExplicit = 0;
+  uint64_t BytesLogged = 0;
+};
+
+/// Manages (non-nested) transactions over one Memory instance.
+class TransactionManager {
+public:
+  explicit TransactionManager(mem::Memory &M, TxLimits Limits = TxLimits())
+      : M(M), Limits(Limits) {}
+
+  bool isActive() const { return Active; }
+  const TxStats &stats() const { return Stats; }
+
+  /// Starts a transaction. Nested transactions are not supported.
+  void begin();
+
+  /// Commits: tentative writes become permanent, the undo log is discarded.
+  void commit();
+
+  /// Aborts: tentative writes are undone in reverse order.
+  void abort(AbortReason Reason);
+
+  /// Transactional read. Outside a transaction this is a plain read.
+  /// Returns false (and aborts the transaction) on fault or capacity
+  /// overflow; the caller must then redirect control to the abort handler.
+  bool read(uint64_t Addr, void *Out, uint64_t Size, AbortReason &Reason);
+
+  /// Transactional write; undo data is logged first. Same failure contract
+  /// as read().
+  bool write(uint64_t Addr, const void *Data, uint64_t Size,
+             AbortReason &Reason);
+
+private:
+  struct UndoRecord {
+    uint64_t Addr;
+    std::vector<uint8_t> OldBytes;
+  };
+
+  bool trackFootprint(uint64_t Addr, uint64_t Size, bool IsWrite);
+
+  mem::Memory &M;
+  TxLimits Limits;
+  bool Active = false;
+  std::vector<UndoRecord> UndoLog;
+  std::unordered_set<uint64_t> ReadSetLines;
+  std::unordered_set<uint64_t> WriteSetLines;
+  TxStats Stats;
+};
+
+} // namespace rtm
+} // namespace flexvec
+
+#endif // FLEXVEC_RTM_TRANSACTION_H

@@ -1,0 +1,133 @@
+//===- sim/Cache.cpp ------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::sim;
+
+CacheLevel::CacheLevel(const CacheLevelConfig &Cfg, unsigned LineBytes)
+    : Latency(Cfg.LatencyCycles), Ways(Cfg.Ways) {
+  LineShift = static_cast<unsigned>(std::countr_zero(LineBytes));
+  NumSets = Cfg.SizeBytes / (static_cast<uint64_t>(LineBytes) * Cfg.Ways);
+  assert(NumSets > 0 && (NumSets & (NumSets - 1)) == 0 &&
+         "sets must be a power of two");
+  Sets.resize(NumSets);
+}
+
+bool CacheLevel::access(uint64_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  auto &Set = Sets[Line & (NumSets - 1)];
+  for (size_t I = 0; I < Set.size(); ++I) {
+    if (Set[I] == Line) {
+      // Move to MRU position.
+      Set.erase(Set.begin() + static_cast<long>(I));
+      Set.insert(Set.begin(), Line);
+      ++Hits;
+      return true;
+    }
+  }
+  ++Misses;
+  return false;
+}
+
+void CacheLevel::install(uint64_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  auto &Set = Sets[Line & (NumSets - 1)];
+  for (size_t I = 0; I < Set.size(); ++I) {
+    if (Set[I] == Line) {
+      Set.erase(Set.begin() + static_cast<long>(I));
+      break;
+    }
+  }
+  Set.insert(Set.begin(), Line);
+  if (Set.size() > Ways)
+    Set.pop_back();
+}
+
+MemoryHierarchy::MemoryHierarchy(const CoreConfig &Cfg)
+    : Cfg(Cfg), L1(Cfg.L1D, Cfg.LineBytes), L2(Cfg.L2, Cfg.LineBytes),
+      L3(Cfg.L3, Cfg.LineBytes), Streams(NumStreams) {}
+
+void MemoryHierarchy::installAll(uint64_t Addr) {
+  L1.install(Addr);
+  L2.install(Addr);
+  L3.install(Addr);
+}
+
+void MemoryHierarchy::prefetch(uint64_t Addr) {
+  if (!Cfg.EnablePrefetcher)
+    return;
+  uint64_t Page = Addr >> 12;
+  uint64_t Line = Addr >> 6;
+
+  StreamEntry *E = nullptr;
+  for (StreamEntry &S : Streams)
+    if (S.Page == Page)
+      E = &S;
+  if (!E) {
+    E = &Streams[StreamVictim];
+    StreamVictim = (StreamVictim + 1) % Streams.size();
+    *E = StreamEntry{Page, Line, 0, 0};
+    return;
+  }
+  if (Line == E->LastLine)
+    return; // Re-touching a line (e.g. VPL re-execution) is neutral.
+  int Dir = Line > E->LastLine ? 1 : -1;
+  if (Dir == E->Dir) {
+    if (E->Confidence < 4)
+      ++E->Confidence;
+  } else {
+    E->Dir = Dir;
+    E->Confidence = 1;
+  }
+  E->LastLine = Line;
+  if (E->Confidence < 2)
+    return;
+  // Prefetch ahead, never crossing the page boundary (Section 5).
+  for (unsigned D = 1; D <= Cfg.PrefetchDegree; ++D) {
+    uint64_t Target = Line + static_cast<uint64_t>(Dir) * D;
+    if ((Target << 6 >> 12) != Page)
+      break;
+    installAll(Target << 6);
+    ++Stats.PrefetchIssued;
+  }
+}
+
+unsigned MemoryHierarchy::accessLatency(uint64_t Addr, uint32_t,
+                                        Level *LevelOut) {
+  ++Stats.Accesses;
+  if (LevelOut)
+    *LevelOut = Level::L1;
+  if (L1.access(Addr)) {
+    ++Stats.L1Hits;
+    prefetch(Addr);
+    return L1.latency();
+  }
+  if (L2.access(Addr)) {
+    ++Stats.L2Hits;
+    L1.install(Addr);
+    prefetch(Addr);
+    if (LevelOut)
+      *LevelOut = Level::L2;
+    return L2.latency();
+  }
+  if (L3.access(Addr)) {
+    ++Stats.L3Hits;
+    L1.install(Addr);
+    L2.install(Addr);
+    prefetch(Addr);
+    if (LevelOut)
+      *LevelOut = Level::L3;
+    return L3.latency();
+  }
+  ++Stats.MemAccesses;
+  installAll(Addr);
+  prefetch(Addr);
+  if (LevelOut)
+    *LevelOut = Level::Dram;
+  return Cfg.MemoryLatency;
+}

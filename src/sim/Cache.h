@@ -1,0 +1,99 @@
+//===- sim/Cache.h - Cache hierarchy model ----------------------*- C++ -*-===//
+//
+// Set-associative LRU caches (L1D/L2/L3 + memory) with a per-PC stride
+// prefetcher that does not cross page boundaries — the paper's Section 5
+// notes that hardware prefetchers stopping at page boundaries hurt the
+// gather-heavy vector code, so that behaviour is modeled explicitly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SIM_CACHE_H
+#define FLEXVEC_SIM_CACHE_H
+
+#include "sim/Config.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace flexvec {
+namespace sim {
+
+/// One set-associative LRU cache level.
+class CacheLevel {
+public:
+  CacheLevel(const CacheLevelConfig &Cfg, unsigned LineBytes);
+
+  /// True if the line holding \p Addr is present; updates LRU on hit.
+  bool access(uint64_t Addr);
+
+  /// Installs the line holding \p Addr (LRU replacement).
+  void install(uint64_t Addr);
+
+  unsigned latency() const { return Latency; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  unsigned Latency;
+  unsigned LineShift;
+  uint64_t NumSets;
+  unsigned Ways;
+  /// Sets[set] = list of line tags, most recent first.
+  std::vector<std::vector<uint64_t>> Sets;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Aggregated statistics for the hierarchy.
+struct MemStats {
+  uint64_t Accesses = 0;
+  uint64_t L1Hits = 0, L2Hits = 0, L3Hits = 0, MemAccesses = 0;
+  uint64_t PrefetchIssued = 0;
+};
+
+/// The full hierarchy. loadLatency() returns the load-to-use latency for
+/// an access and performs all fills.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const CoreConfig &Cfg);
+
+  /// Hierarchy levels for bandwidth accounting.
+  enum class Level : uint8_t { L1, L2, L3, Dram };
+
+  /// Latency of a (demand) access at \p Addr issued by static instruction
+  /// \p Pc. Stores use the same path (write-allocate). \p LevelOut, when
+  /// non-null, receives the level that serviced the access.
+  unsigned accessLatency(uint64_t Addr, uint32_t Pc,
+                         Level *LevelOut = nullptr);
+
+  const MemStats &stats() const { return Stats; }
+
+private:
+  void prefetch(uint64_t Addr);
+  void installAll(uint64_t Addr);
+
+  CoreConfig Cfg;
+  CacheLevel L1, L2, L3;
+  MemStats Stats;
+
+  /// Per-page stream detector: direction-confirmed sequential access
+  /// within a 4 KiB page triggers prefetch of the next lines of that page.
+  /// Re-accessing the same line (VPL re-execution) neither trains nor
+  /// untrains the stream.
+  struct StreamEntry {
+    uint64_t Page = ~0ULL;
+    uint64_t LastLine = 0;
+    int Dir = 0;
+    int Confidence = 0;
+  };
+  static constexpr size_t NumStreams = 16;
+  std::vector<StreamEntry> Streams;
+  size_t StreamVictim = 0;
+};
+
+} // namespace sim
+} // namespace flexvec
+
+#endif // FLEXVEC_SIM_CACHE_H

@@ -1,0 +1,303 @@
+//===- sim/OooCore.cpp ----------------------------------------------------===//
+
+#include "sim/OooCore.h"
+
+#include "isa/InstrInfo.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::sim;
+using namespace flexvec::isa;
+
+namespace {
+constexpr size_t PortRingSize = 1u << 15;
+} // namespace
+
+OooCore::PortRing::PortRing(unsigned Units)
+    : Units(Units), CycleTag(PortRingSize, ~0ULL), Count(PortRingSize, 0) {}
+
+uint64_t OooCore::PortRing::reserve(uint64_t Earliest) {
+  uint64_t C = Earliest;
+  while (true) {
+    size_t Slot = C & (PortRingSize - 1);
+    if (CycleTag[Slot] != C) {
+      CycleTag[Slot] = C;
+      Count[Slot] = 0;
+    }
+    if (Count[Slot] < Units) {
+      ++Count[Slot];
+      return C;
+    }
+    ++C;
+  }
+}
+
+OooCore::OooCore(const CoreConfig &Cfg)
+    : Cfg(Cfg), Mem(Cfg), RobRing(Cfg.RobEntries, 0), RsRing(Cfg.RsEntries, 0),
+      LqRing(Cfg.LoadQueueEntries, 0), SqRing(Cfg.StoreQueueEntries, 0),
+      AluRing(Cfg.AluUnits), MulRing(Cfg.MulUnits), VecRing(Cfg.VecUnits),
+      LoadRing(Cfg.LoadPorts), StoreRing(Cfg.StorePorts), L3BwRing(1),
+      DramBwRing(1) {
+  StoreBuf.resize(Cfg.StoreQueueEntries, PendingStore{~0ULL, 0});
+}
+
+unsigned OooCore::regId(Reg R) {
+  switch (R.Class) {
+  case RegClass::Scalar:
+    return R.Index;
+  case RegClass::Vector:
+    return 32 + R.Index;
+  case RegClass::Mask:
+    return 64 + R.Index;
+  case RegClass::None:
+    break;
+  }
+  unreachable("invalid register for scoreboard");
+}
+
+uint64_t OooCore::fetchSlot() {
+  if (FetchedThisCycle >= Cfg.FetchWidth) {
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+  }
+  ++FetchedThisCycle;
+  return FetchCycle;
+}
+
+uint64_t OooCore::commitSlot(uint64_t Earliest) {
+  if (Earliest > CommitCycle) {
+    CommitCycle = Earliest;
+    CommittedThisCycle = 0;
+  }
+  if (CommittedThisCycle >= Cfg.CommitWidth) {
+    ++CommitCycle;
+    CommittedThisCycle = 0;
+  }
+  ++CommittedThisCycle;
+  return CommitCycle;
+}
+
+uint64_t OooCore::reservePort(PortKind Port, uint64_t Earliest) {
+  switch (Port) {
+  case PortKind::ALU:
+  case PortKind::Branch:
+    return AluRing.reserve(Earliest);
+  case PortKind::Mul:
+    return MulRing.reserve(Earliest);
+  case PortKind::FP:
+  case PortKind::Vec:
+    return VecRing.reserve(Earliest);
+  case PortKind::Load:
+    return LoadRing.reserve(Earliest);
+  case PortKind::Store:
+    return StoreRing.reserve(Earliest);
+  case PortKind::None:
+    return Earliest;
+  }
+  unreachable("unknown port kind");
+}
+
+uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
+  ++Stats.Uops;
+  uint64_t Fetch = fetchSlot() + FrontEndDepth;
+  uint64_t Window = std::max(RobRing[RobHead], RsRing[RsHead]);
+  if (U.IsLoad)
+    Window = std::max(Window, LqRing[LqHead]);
+  if (U.IsStore)
+    Window = std::max(Window, SqRing[SqHead]);
+  uint64_t Dispatch = std::max(Fetch, Window);
+
+  uint64_t Ready = std::max({Dispatch, SrcReady, U.ReadyExtra});
+  uint64_t Issue = reservePort(U.Port, Ready);
+
+  // Attribute this uop's issue time to the binding constraint.
+  uint64_t DepReady = std::max(SrcReady, U.ReadyExtra);
+  if (Issue > Ready)
+    ++Stats.BoundByPorts;
+  else if (DepReady >= Dispatch)
+    ++Stats.BoundByDeps;
+  else if (Window > Fetch)
+    ++Stats.BoundByWindow;
+  else
+    ++Stats.BoundByFrontEnd;
+
+  uint64_t Complete = Issue + U.Latency;
+  if (U.IsLoad) {
+    // Store-to-load forwarding against in-flight stores.
+    uint64_t Granule = U.Addr >> 3;
+    bool Forwarded = false;
+    for (size_t I = 0; I < StoreBuf.size(); ++I) {
+      const PendingStore &PS = StoreBuf[I];
+      if (PS.Granule == Granule) {
+        Complete =
+            std::max(Issue, PS.Ready) + Cfg.ForwardLatency;
+        Forwarded = true;
+        break;
+      }
+    }
+    if (!Forwarded) {
+      MemoryHierarchy::Level Lv;
+      unsigned Lat = Mem.accessLatency(U.Addr, Pc, &Lv);
+      uint64_t Fill = Issue;
+      if (Lv == MemoryHierarchy::Level::L3)
+        Fill = L3BwRing.reserve(Issue);
+      else if (Lv == MemoryHierarchy::Level::Dram)
+        Fill = DramBwRing.reserve(Issue >> 1) << 1;
+      Complete = Fill + U.Latency + Lat;
+    }
+  }
+  if (U.IsStore) {
+    // Writes retire into the hierarchy; model the tag access for stats and
+    // prefetcher training, but keep it off the completion critical path.
+    Mem.accessLatency(U.Addr, Pc);
+    StoreBuf[StoreBufHead] = PendingStore{U.Addr >> 3, Complete};
+    StoreBufHead = (StoreBufHead + 1) % StoreBuf.size();
+  }
+
+  // In-order retirement.
+  uint64_t Retire = commitSlot(std::max(Complete + 1, LastRetire));
+  LastRetire = Retire;
+
+  RobRing[RobHead] = Retire;
+  RobHead = (RobHead + 1) % RobRing.size();
+  RsRing[RsHead] = Issue;
+  RsHead = (RsHead + 1) % RsRing.size();
+  if (U.IsLoad) {
+    LqRing[LqHead] = Retire;
+    LqHead = (LqHead + 1) % LqRing.size();
+  }
+  if (U.IsStore) {
+    SqRing[SqHead] = Retire;
+    SqHead = (SqHead + 1) % SqRing.size();
+  }
+  if (Retire > Stats.Cycles)
+    Stats.Cycles = Retire;
+  return Complete;
+}
+
+void OooCore::onInstr(const emu::DynInstr &DI) {
+  const Instruction &I = *DI.Instr;
+  ++Stats.Instructions;
+  const InstrTiming &T = instrTiming(I.Op);
+
+  if (T.Port == PortKind::None && !I.isBranch())
+    return; // halt / nop
+
+  // Source readiness.
+  uint64_t SrcReady = 0;
+  // Transaction boundaries drain the pipeline: XBEGIN/XEND cannot execute
+  // until every older uop has retired (store-buffer drain), though the
+  // front end keeps fetching.
+  if (I.Op == Opcode::XBegin || I.Op == Opcode::XEnd)
+    SrcReady = LastRetire;
+  for (Reg R : {I.Src1, I.Src2, I.Src3})
+    if (R.isValid())
+      SrcReady = std::max(SrcReady, RegReady[regId(R)]);
+  if (I.MaskReg.isValid())
+    SrcReady = std::max(SrcReady, RegReady[regId(I.MaskReg)]);
+  // Only genuinely merge-masked vector writes read their old destination
+  // (VBLEND selects; masked ALU ops merge). Loads and gathers are treated
+  // as zero-masking, which is how baseline compilers break the false
+  // dependence, and full-width writes (broadcast-class results, VSLCTLAST)
+  // replace every lane.
+  bool ReadsDest = false;
+  if (I.Dst.isValid() && I.Dst.isVector()) {
+    if (I.Op == Opcode::VBlend)
+      ReadsDest = true;
+    else if (I.MaskReg.isValid() && I.MaskReg.Index != 0 && !I.isLoad() &&
+             I.Op != Opcode::VSlctLast)
+      ReadsDest = true;
+  }
+  if (ReadsDest)
+    SrcReady = std::max(SrcReady, RegReady[regId(I.Dst)]);
+
+  uint64_t Complete = 0;
+
+  if (T.LanesPerMemUop > 0) {
+    // Gather/scatter: an AGU uop followed by one memory uop per active
+    // lane over the two load ports (or the store port).
+    UopDesc Agu{PortKind::Vec, 1};
+    uint64_t AguDone = issueUop(Agu, SrcReady, DI.InstrIdx);
+    Complete = AguDone;
+    if (DI.MemAddrs) {
+      for (uint64_t Addr : *DI.MemAddrs) {
+        UopDesc MemU{I.isLoad() ? PortKind::Load : PortKind::Store,
+                     T.Latency, I.isLoad(), I.isStore(), Addr, AguDone};
+        uint64_t Done = issueUop(MemU, SrcReady, DI.InstrIdx);
+        Complete = std::max(Complete, Done);
+      }
+    }
+  } else if (I.isMemory()) {
+    // Scalar or contiguous vector access: one memory uop; a 512-bit access
+    // can straddle two lines — charge the slower line.
+    uint64_t First = 0, Last = 0;
+    if (DI.MemAddrs && !DI.MemAddrs->empty()) {
+      First = DI.MemAddrs->front();
+      Last = DI.MemAddrs->back();
+    }
+    UopDesc MemU{I.isLoad() ? PortKind::Load : PortKind::Store, T.Latency,
+                 I.isLoad(), I.isStore(), First, 0};
+    Complete = issueUop(MemU, SrcReady, DI.InstrIdx);
+    if (I.isLoad() && (Last >> 6) != (First >> 6)) {
+      // The access straddles a line: if the second line is slower than the
+      // first, the result waits for it.
+      unsigned Extra = Mem.accessLatency(Last, DI.InstrIdx);
+      if (Extra > Cfg.L1D.LatencyCycles)
+        Complete += Extra - Cfg.L1D.LatencyCycles;
+    }
+  } else {
+    // Non-memory: FixedUops micro-ops on the unit; the result is ready
+    // Latency cycles after the first issues.
+    uint64_t FirstDone = 0;
+    for (unsigned U = 0; U < T.FixedUops; ++U) {
+      UopDesc Desc{T.Port, U == 0 ? T.Latency : 1};
+      uint64_t Done = issueUop(Desc, SrcReady, DI.InstrIdx);
+      if (U == 0)
+        FirstDone = Done;
+      Complete = std::max(Complete, std::max(Done, FirstDone));
+    }
+  }
+
+  // Destination scoreboard updates.
+  if (I.Dst.isValid())
+    RegReady[regId(I.Dst)] = Complete;
+  if (I.isFirstFaulting() && I.MaskReg.isValid())
+    RegReady[regId(I.MaskReg)] = Complete; // Mask is also written.
+
+  // Control flow.
+  if (I.isConditionalBranch()) {
+    ++Stats.Branches;
+    bool Correct = Bp.predictAndUpdate(DI.InstrIdx, DI.Taken);
+    if (!Correct) {
+      ++Stats.Mispredicts;
+      uint64_t Redirect =
+          Complete + (Cfg.MispredictPenalty > FrontEndDepth
+                          ? Cfg.MispredictPenalty - FrontEndDepth
+                          : 1);
+      if (Redirect > FetchCycle) {
+        FetchCycle = Redirect;
+        FetchedThisCycle = 0;
+      }
+    }
+  }
+
+  // Transaction aborts flush the pipeline; XBEGIN/XEND are expensive but
+  // non-serializing on real RTM hardware (the tile-size study depends on
+  // inter-tile overlap surviving commits).
+  if (I.Op == Opcode::XAbort) {
+    if (Complete > FetchCycle) {
+      FetchCycle = Complete;
+      FetchedThisCycle = 0;
+    }
+  }
+}
+
+SimStats OooCore::stats() const {
+  SimStats S = Stats;
+  S.Mem = Mem.stats();
+  S.Mispredicts = Bp.mispredicts();
+  return S;
+}

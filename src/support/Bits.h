@@ -1,0 +1,45 @@
+//===- support/Bits.h - Bit and lane-mask utilities ------------*- C++ -*-===//
+//
+// Helpers for manipulating lane masks. Lane 0 is the least significant bit,
+// matching the paper's convention that vector elements are laid out from
+// the least significant ("leftmost" in the paper's figures) lane upward.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_BITS_H
+#define FLEXVEC_SUPPORT_BITS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace flexvec {
+
+/// Number of set bits.
+inline unsigned popcount(uint64_t X) { return std::popcount(X); }
+
+/// Index of the lowest set bit; 64 when X is zero.
+inline unsigned countTrailingZeros(uint64_t X) { return std::countr_zero(X); }
+
+/// A mask with the low \p N bits set. N may be 0..64.
+inline uint64_t lowBitMask(unsigned N) {
+  assert(N <= 64 && "bit count out of range");
+  return N >= 64 ? ~0ULL : ((1ULL << N) - 1);
+}
+
+/// True if bit \p Lane is set in \p Mask.
+inline bool testBit(uint64_t Mask, unsigned Lane) {
+  assert(Lane < 64 && "lane out of range");
+  return (Mask >> Lane) & 1;
+}
+
+/// Returns \p Mask with bit \p Lane set or cleared.
+inline uint64_t assignBit(uint64_t Mask, unsigned Lane, bool Value) {
+  assert(Lane < 64 && "lane out of range");
+  uint64_t Bit = 1ULL << Lane;
+  return Value ? (Mask | Bit) : (Mask & ~Bit);
+}
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_BITS_H

@@ -1,0 +1,35 @@
+//===- support/Error.h - Fatal error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the FlexVec reproduction. Follows the LLVM error-handling model:
+// programmatic errors abort at the point of failure with a diagnostic.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_ERROR_H
+#define FLEXVEC_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace flexvec {
+
+/// Reports an unrecoverable internal error and aborts.
+///
+/// Use for invariant violations that must be diagnosed even in release
+/// builds (the moral equivalent of llvm::report_fatal_error).
+[[noreturn]] inline void fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "flexvec fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+/// Marks a point in the code that must be unreachable if program invariants
+/// hold (the moral equivalent of llvm_unreachable).
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "flexvec unreachable executed: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_ERROR_H

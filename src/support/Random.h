@@ -1,0 +1,97 @@
+//===- support/Random.h - Deterministic PRNGs ------------------*- C++ -*-===//
+//
+// Deterministic, seedable random number generation used by workload input
+// generators and property-based tests. std::mt19937 is avoided so that
+// every platform and standard library produces identical workload images.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_RANDOM_H
+#define FLEXVEC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace flexvec {
+
+/// SplitMix64: used to expand a user seed into stream state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: the workhorse generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eedf1e8f1e8c0deULL) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a non-zero bound");
+    // Lemire's nearly-divisionless method.
+    uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t L = static_cast<uint64_t>(M);
+    if (L < Bound) {
+      uint64_t Threshold = (0 - Bound) % Bound;
+      while (L < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        L = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Returns an integer in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_RANDOM_H

@@ -1,0 +1,94 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flexvec;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Header.size(); ++I) {
+      const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+      Line += "  ";
+      Line += Cell;
+      Line.append(Widths[I] - Cell.size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  std::string Out = renderRow(Header);
+  Out.append(TotalWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    Out += renderRow(Row);
+  }
+  return Out;
+}
+
+void TextTable::print(std::FILE *Out) const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), Out);
+}
+
+std::string TextTable::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TextTable::fmtInt(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  std::string Digits = Buf;
+  bool Negative = !Digits.empty() && Digits[0] == '-';
+  std::string Body = Negative ? Digits.substr(1) : Digits;
+  std::string Result;
+  int Count = 0;
+  for (auto It = Body.rbegin(); It != Body.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Result += ',';
+    Result += *It;
+    ++Count;
+  }
+  std::reverse(Result.begin(), Result.end());
+  return Negative ? "-" + Result : Result;
+}
+
+std::string TextTable::fmtPercent(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}

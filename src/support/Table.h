@@ -1,0 +1,50 @@
+//===- support/Table.h - Aligned text table printing -----------*- C++ -*-===//
+//
+// The benchmark harnesses print the paper's tables and figures as aligned
+// text tables; this is the shared formatter.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_TABLE_H
+#define FLEXVEC_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flexvec {
+
+/// A simple column-aligned text table.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends one row; the row is padded or truncated to the header width.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table with per-column alignment.
+  std::string render() const;
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integer with thousands separators ("12,345").
+  static std::string fmtInt(long long Value);
+
+  /// Formats a ratio as a percentage string ("9.3%").
+  static std::string fmtPercent(double Fraction, int Precision = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows; // empty row == separator
+};
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_TABLE_H

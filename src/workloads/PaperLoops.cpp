@@ -1,0 +1,229 @@
+#include <algorithm>
+//===- workloads/PaperLoops.cpp -------------------------------------------===//
+
+#include "workloads/PaperLoops.h"
+
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::workloads;
+using namespace flexvec::ir;
+using isa::CmpKind;
+using isa::ElemType;
+
+std::unique_ptr<LoopFunction> workloads::buildH264Loop() {
+  auto F = std::make_unique<LoopFunction>("h264_motion_search");
+  int MaxPos = F->addScalar("max_pos", ElemType::I64);
+  int MinMcost = F->addScalar("min_mcost", ElemType::I32, /*IsLiveOut=*/true);
+  int BestPos = F->addScalar("best_pos", ElemType::I32, /*IsLiveOut=*/true);
+  int Mcost = F->addScalar("mcost", ElemType::I32);
+  int Cand = F->addScalar("cand", ElemType::I32);
+  int Sad = F->addArray("block_sad", ElemType::I32, /*ReadOnly=*/true);
+  int Spiral = F->addArray("spiral", ElemType::I32, /*ReadOnly=*/true);
+  int Mv = F->addArray("mv", ElemType::I32, /*ReadOnly=*/true);
+  F->setTripCountScalar(MaxPos);
+
+  Stmt *Outer = F->makeIfShell(F->compare(
+      CmpKind::LT, F->arrayRef(Sad, F->indexRef()), F->scalarRef(MinMcost)));
+  Stmt *LoadSad = F->assignScalar(Mcost, F->arrayRef(Sad, F->indexRef()));
+  Stmt *LoadCand = F->assignScalar(Cand, F->arrayRef(Spiral, F->indexRef()));
+  Stmt *AddMv = F->assignScalar(
+      Mcost, F->binary(BinOp::Add, F->scalarRef(Mcost),
+                       F->arrayRef(Mv, F->scalarRef(Cand))));
+  Stmt *Inner = F->makeIfShell(F->compare(CmpKind::LT, F->scalarRef(Mcost),
+                                          F->scalarRef(MinMcost)));
+  Stmt *Upd = F->assignScalar(MinMcost, F->scalarRef(Mcost));
+  Stmt *Payload = F->assignScalar(BestPos, F->indexRef());
+
+  F->addThen(Outer, LoadSad);
+  F->addThen(Outer, LoadCand);
+  F->addThen(Outer, AddMv);
+  F->addThen(Outer, Inner);
+  F->addThen(Inner, Upd);
+  F->addThen(Inner, Payload);
+  F->setBody({Outer});
+  return F;
+}
+
+LoopInputs workloads::genH264Inputs(const LoopFunction &F, Rng &R, int64_t N,
+                                    double UpdateProb,
+                                    double OuterPassProb) {
+  assert(N > 0);
+  LoopInputs In;
+  mem::BumpAllocator Alloc(In.Image);
+
+  constexpr int64_t MvSize = 1024;
+  std::vector<int32_t> Mv(MvSize);
+  for (auto &V : Mv)
+    V = static_cast<int32_t>(R.nextInRange(1, 8));
+  std::vector<int32_t> Spiral(static_cast<size_t>(N));
+  for (auto &V : Spiral)
+    V = static_cast<int32_t>(R.nextBelow(MvSize));
+
+  // Drive the running minimum so the inner update fires with probability
+  // UpdateProb (plus a sliver of outer-true/inner-false iterations).
+  int64_t Cur = 1 << 22;
+  std::vector<int32_t> Sad(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I) {
+    int32_t Mvv = Mv[static_cast<size_t>(Spiral[static_cast<size_t>(I)])];
+    double Roll = R.nextDouble();
+    if (Roll < UpdateProb) {
+      // Real update: mcost = Cur - d.
+      int64_t D = R.nextInRange(1, 8);
+      Sad[static_cast<size_t>(I)] = static_cast<int32_t>(Cur - D - Mvv);
+      Cur = Cur - D;
+    } else if (Roll < UpdateProb + OuterPassProb) {
+      // Outer passes, inner fails: mcost ends in [Cur, Cur + Mvv).
+      int64_t DPrime = R.nextBelow(static_cast<uint64_t>(Mvv));
+      Sad[static_cast<size_t>(I)] =
+          static_cast<int32_t>(Cur + DPrime - Mvv);
+    } else {
+      Sad[static_cast<size_t>(I)] =
+          static_cast<int32_t>(Cur + static_cast<int64_t>(R.nextBelow(1000)));
+    }
+    assert(Cur > 16 && "running minimum underflowed; shrink N");
+  }
+
+  In.B = Bindings::forFunction(F);
+  In.B.ArrayBases[0] = Alloc.allocArray(Sad);
+  In.B.ArrayBases[1] = Alloc.allocArray(Spiral);
+  In.B.ArrayBases[2] = Alloc.allocArray(Mv);
+  In.B.setInt(0, N);       // max_pos
+  In.B.setInt(1, 1 << 22); // min_mcost
+  In.B.setInt(2, -1);      // best_pos
+  return In;
+}
+
+std::unique_ptr<LoopFunction> workloads::buildConflictLoop() {
+  auto F = std::make_unique<LoopFunction>("pairs_conflict");
+  int Hits = F->addScalar("hits", ElemType::I64);
+  int Q = F->addScalar("q", ElemType::I32);
+  int S = F->addScalar("s", ElemType::I32);
+  int Coord = F->addScalar("coord", ElemType::I32);
+  int Qa = F->addArray("qa", ElemType::I32, /*ReadOnly=*/true);
+  int Sa = F->addArray("sa", ElemType::I32, /*ReadOnly=*/true);
+  int DArr = F->addArray("d_arr", ElemType::I32);
+  F->setTripCountScalar(Hits);
+
+  Stmt *S1 = F->assignScalar(Q, F->arrayRef(Qa, F->indexRef()));
+  Stmt *S2 = F->assignScalar(S, F->arrayRef(Sa, F->indexRef()));
+  Stmt *S3 = F->assignScalar(
+      Coord, F->binary(BinOp::Sub, F->scalarRef(Q), F->scalarRef(S)));
+  // `if (s < d_arr[coord]) continue; d_arr[coord] = s;` with the continue
+  // folded into the guard.
+  const Expr *CoordRef = F->scalarRef(Coord);
+  Stmt *S4 = F->makeIfShell(
+      F->compare(CmpKind::GE, F->scalarRef(S), F->arrayRef(DArr, CoordRef)));
+  Stmt *S5 = F->storeArray(DArr, CoordRef, F->scalarRef(S));
+  F->addThen(S4, S5);
+  F->setBody({S1, S2, S3, S4});
+  return F;
+}
+
+LoopInputs workloads::genConflictInputs(const LoopFunction &F, Rng &R,
+                                        int64_t N, double ConflictProb,
+                                        int64_t TableSize) {
+  assert(N > 0 && TableSize > 16);
+  LoopInputs In;
+  mem::BumpAllocator Alloc(In.Image);
+
+  std::vector<int32_t> Qa(static_cast<size_t>(N)), Sa(static_cast<size_t>(N));
+  std::vector<int32_t> D(static_cast<size_t>(TableSize));
+  for (auto &V : D)
+    V = static_cast<int32_t>(R.nextBelow(100));
+
+  std::vector<int32_t> Recent;
+  for (int64_t I = 0; I < N; ++I) {
+    int32_t Coord;
+    if (!Recent.empty() && R.nextBool(ConflictProb)) {
+      Coord = Recent[R.nextBelow(Recent.size())];
+    } else {
+      Coord = static_cast<int32_t>(R.nextBelow(TableSize));
+    }
+    Recent.push_back(Coord);
+    if (Recent.size() > 12)
+      Recent.erase(Recent.begin());
+    int32_t SVal = static_cast<int32_t>(R.nextBelow(100));
+    Sa[static_cast<size_t>(I)] = SVal;
+    Qa[static_cast<size_t>(I)] = Coord + SVal;
+  }
+
+  In.B = Bindings::forFunction(F);
+  In.B.ArrayBases[0] = Alloc.allocArray(Qa);
+  In.B.ArrayBases[1] = Alloc.allocArray(Sa);
+  In.B.ArrayBases[2] = Alloc.allocArray(D);
+  In.B.setInt(0, N); // hits
+  return In;
+}
+
+std::unique_ptr<LoopFunction> workloads::buildEarlyExitLoop() {
+  auto F = std::make_unique<LoopFunction>("string_search");
+  int Length = F->addScalar("length", ElemType::I64);
+  int Val = F->addScalar("val", ElemType::I32);
+  int BestPos = F->addScalar("best_pos", ElemType::I32, /*IsLiveOut=*/true);
+  int C = F->addScalar("c", ElemType::I32);
+  int D = F->addScalar("d", ElemType::I32);
+  int Str = F->addArray("str", ElemType::I32, /*ReadOnly=*/true);
+  int Tab = F->addArray("tab", ElemType::I32, /*ReadOnly=*/true);
+  F->setTripCountScalar(Length);
+
+  Stmt *S1 = F->assignScalar(C, F->arrayRef(Str, F->indexRef()));
+  Stmt *S2 = F->assignScalar(D, F->arrayRef(Tab, F->scalarRef(C)));
+  Stmt *S3 = F->makeIfShell(
+      F->compare(CmpKind::EQ, F->scalarRef(D), F->scalarRef(Val)));
+  Stmt *S4 = F->assignScalar(BestPos, F->indexRef());
+  Stmt *S5 = F->makeBreak();
+  F->addThen(S3, S4);
+  F->addThen(S3, S5);
+  F->setBody({S1, S2, S3});
+  return F;
+}
+
+LoopInputs workloads::genEarlyExitInputs(const LoopFunction &F, Rng &R,
+                                         int64_t N, int64_t MatchPos,
+                                         bool TightPages) {
+  assert(N > 0);
+  LoopInputs In;
+
+  constexpr int32_t MatchChar = 200;
+  constexpr int32_t MatchVal = 999;
+  std::vector<int32_t> Tab(256);
+  for (size_t C = 0; C < Tab.size(); ++C)
+    Tab[C] = static_cast<int32_t>(C) * 2;
+  Tab[MatchChar] = MatchVal;
+
+  int64_t StrLen = TightPages ? std::min<int64_t>(N, MatchPos + 1) : N;
+  std::vector<int32_t> Str(static_cast<size_t>(StrLen));
+  for (int64_t I = 0; I < StrLen; ++I) {
+    int32_t C = static_cast<int32_t>(R.nextBelow(256));
+    if (C == MatchChar)
+      C = 17;
+    Str[static_cast<size_t>(I)] = C;
+  }
+  if (MatchPos < StrLen)
+    Str[static_cast<size_t>(MatchPos)] = MatchChar;
+
+  In.B = Bindings::forFunction(F);
+  if (TightPages) {
+    // Place the string so its last element ends exactly at a page
+    // boundary; speculative lanes past the match genuinely fault.
+    uint64_t Bytes = static_cast<uint64_t>(StrLen) * 4;
+    uint64_t End = 0x40000; // Page-aligned.
+    while (End < Bytes + mem::PageSize)
+      End += mem::PageSize;
+    uint64_t Base = End - Bytes;
+    In.Image.map(Base, Bytes, mem::PermReadWrite);
+    In.Image.write(Base, Str.data(), Bytes);
+    In.B.ArrayBases[0] = Base;
+    mem::BumpAllocator Alloc(In.Image, End + mem::PageSize * 4);
+    In.B.ArrayBases[1] = Alloc.allocArray(Tab);
+  } else {
+    mem::BumpAllocator Alloc(In.Image);
+    In.B.ArrayBases[0] = Alloc.allocArray(Str);
+    In.B.ArrayBases[1] = Alloc.allocArray(Tab);
+  }
+  In.B.setInt(0, N);        // length
+  In.B.setInt(1, MatchVal); // val
+  In.B.setInt(2, -1);       // best_pos
+  return In;
+}

@@ -1,0 +1,104 @@
+//===- workloads/PaperLoops.h - The paper's example loops -------*- C++ -*-===//
+//
+// The three worked loops from the paper, used by tests, examples, and the
+// ablation benchmarks:
+//
+//  * h264ref motion-search loop (Sections 1.1, 4.2, Figure 6) —
+//    conditional scalar update with speculative loads and an argmin
+//    payload.
+//  * The pairs/d_arr loop (Section 3.1, Figure 2 — the 473.astar shape) —
+//    runtime cross-iteration memory dependence.
+//  * The string-search loop (Section 4.1, Figure 5) — early loop
+//    termination with speculative load and gather.
+//
+// Each loop comes with a parameterized input generator whose dependence
+// probability controls the effective vector length.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_WORKLOADS_PAPERLOOPS_H
+#define FLEXVEC_WORKLOADS_PAPERLOOPS_H
+
+#include "ir/IR.h"
+#include "ir/Interp.h"
+#include "memory/Memory.h"
+#include "support/Random.h"
+
+#include <memory>
+
+namespace flexvec {
+namespace workloads {
+
+/// A memory image plus bindings ready to execute.
+struct LoopInputs {
+  mem::Memory Image;
+  ir::Bindings B;
+};
+
+// --- h264ref conditional update (Figure 6) -------------------------------===//
+//
+//  for (i = 0; i < max_pos; ++i)
+//    if (block_sad[i] < min_mcost) {            // S2
+//      mcost = block_sad[i];                    // S3
+//      cand  = spiral[i];                       // S4  (speculative load)
+//      mcost = mcost + mv[cand];                // S5  (speculative gather)
+//      if (mcost < min_mcost) {                 // S7
+//        min_mcost = mcost;                     // S8
+//        best_pos  = i;                         // S9
+//      }
+//    }
+//
+// Scalar order: max_pos, min_mcost, best_pos, mcost, cand.
+// Array order: block_sad, spiral, mv.
+std::unique_ptr<ir::LoopFunction> buildH264Loop();
+
+/// \p UpdateProb is the per-iteration probability that the inner update
+/// fires (effective VL ≈ 1 / UpdateProb, capped at VL); \p OuterPassProb
+/// is the extra probability that the outer guard passes without the inner
+/// update firing.
+LoopInputs genH264Inputs(const ir::LoopFunction &F, Rng &R, int64_t N,
+                         double UpdateProb, double OuterPassProb = 0.05);
+
+// --- Memory conflict (Figure 2) -------------------------------------------===//
+//
+//  for (i = 0; i < hits; ++i) {
+//    q = qa[i];                                 // S1
+//    s = sa[i];                                 // S2
+//    coord = q - s;                             // S3
+//    if (s >= d_arr[coord])                     // S4
+//      d_arr[coord] = s;                        // S5
+//  }
+//
+// Scalar order: hits, q, s, coord.  Array order: qa, sa, d_arr.
+std::unique_ptr<ir::LoopFunction> buildConflictLoop();
+
+/// \p ConflictProb is the probability that an iteration's coord collides
+/// with one of the previous 12 iterations' coords.
+LoopInputs genConflictInputs(const ir::LoopFunction &F, Rng &R, int64_t N,
+                             double ConflictProb, int64_t TableSize = 4096);
+
+// --- Early loop termination (Figure 5) ------------------------------------===//
+//
+//  for (i = 0; i < length; ++i) {
+//    c = str[i];                                // S1  (speculative load)
+//    d = tab[c];                                // S2  (speculative gather)
+//    if (d == val) {                            // S3
+//      best_pos = i;                            // S4
+//      break;                                   // S5
+//    }
+//  }
+//
+// Scalar order: length, val, best_pos, c, d.  Array order: str, tab.
+std::unique_ptr<ir::LoopFunction> buildEarlyExitLoop();
+
+/// The match is planted at iteration \p MatchPos (pass MatchPos >= N for
+/// "no match"). The declared length exceeds the mapped string so that
+/// speculative lanes can genuinely fault past the match when
+/// \p TightPages is true.
+LoopInputs genEarlyExitInputs(const ir::LoopFunction &F, Rng &R, int64_t N,
+                              int64_t MatchPos, bool TightPages = false);
+
+} // namespace workloads
+} // namespace flexvec
+
+#endif // FLEXVEC_WORKLOADS_PAPERLOOPS_H

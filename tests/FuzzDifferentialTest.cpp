@@ -1,0 +1,257 @@
+//===- tests/FuzzDifferentialTest.cpp - Randomized differential testing ----===//
+//
+// Generates random structured loops within the supported envelope —
+// random expression trees over temporaries, invariants and arrays, plus a
+// random mixture of the three FlexVec patterns (early exit, conditional
+// update, memory conflict) — compiles them through every generator, and
+// requires every produced program to match the reference interpreter on
+// random inputs.
+//
+// The generator stays inside the documented restrictions (single lane
+// width, no stores inside conditional-update regions, top-level exit
+// guards), so a plan that comes back non-vectorizable is itself a test
+// failure for these shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Evaluator.h"
+#include "core/Pipeline.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace flexvec;
+using namespace flexvec::ir;
+using isa::CmpKind;
+using isa::ElemType;
+
+namespace {
+
+constexpr int64_t TableSize = 64; // RW table entries (power of two).
+
+/// Random-loop builder state.
+struct LoopGen {
+  Rng &R;
+  LoopFunction &F;
+  std::vector<int> ReadableScalars; ///< Defined-before-use values.
+  std::vector<int> RoArrays;
+
+  const Expr *randomValue(int Depth) {
+    switch (R.nextBelow(Depth <= 0 ? 3 : 5)) {
+    case 0:
+      return F.constInt(ElemType::I32, R.nextInRange(-20, 20));
+    case 1:
+      return F.scalarRef(
+          ReadableScalars[R.nextBelow(ReadableScalars.size())]);
+    case 2: {
+      // Affine or indirect array read.
+      int A = RoArrays[R.nextBelow(RoArrays.size())];
+      if (R.nextBool(0.7))
+        return F.arrayRef(A, F.indexRef());
+      // Indirect: index masked into the array length (all RO arrays share
+      // one length >= trip, and trip <= 512, so mask to 255).
+      const Expr *Idx =
+          F.binary(BinOp::And, randomValue(0),
+                   F.constInt(ElemType::I32, 255));
+      return F.arrayRef(A, Idx);
+    }
+    case 3: {
+      BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Min, BinOp::Max};
+      return F.binary(Ops[R.nextBelow(4)], randomValue(Depth - 1),
+                      randomValue(Depth - 1));
+    }
+    default:
+      return F.binary(BinOp::Mul, randomValue(Depth - 1),
+                      F.constInt(ElemType::I32,
+                                 R.nextInRange(1, 4)));
+    }
+  }
+
+  const Expr *randomCond(int Depth) {
+    CmpKind Kinds[] = {CmpKind::LT, CmpKind::LE, CmpKind::GT,
+                       CmpKind::GE, CmpKind::EQ, CmpKind::NE};
+    return F.compare(Kinds[R.nextBelow(6)], randomValue(Depth),
+                     randomValue(Depth));
+  }
+};
+
+struct BuiltLoop {
+  std::unique_ptr<LoopFunction> F;
+  int NumRoArrays = 0;
+  bool HasRwTable = false;
+  bool HasUpdate = false;
+  bool HasExit = false;
+};
+
+BuiltLoop buildRandomLoop(Rng &R, uint64_t Seed) {
+  BuiltLoop Out;
+  Out.F = std::make_unique<LoopFunction>("fuzz_" + std::to_string(Seed));
+  LoopFunction &F = *Out.F;
+
+  int N = F.addScalar("n", ElemType::I64);
+  F.setTripCountScalar(N);
+
+  // One or two invariant scalars.
+  int Inv = F.addScalar("inv", ElemType::I32);
+  // Temporaries.
+  int T1 = F.addScalar("t1", ElemType::I32);
+  int T2 = F.addScalar("t2", ElemType::I32);
+  // Conditional-update pair (live-out).
+  bool HasUpdate = R.nextBool(0.6);
+  int Best = -1, Pay = -1;
+  if (HasUpdate) {
+    Best = F.addScalar("best", ElemType::I32, /*IsLiveOut=*/true);
+    Pay = F.addScalar("pay", ElemType::I32, /*IsLiveOut=*/true);
+  }
+  bool HasExit = R.nextBool(0.4);
+  int ExitPos = -1;
+  if (HasExit)
+    ExitPos = F.addScalar("exit_pos", ElemType::I32, /*IsLiveOut=*/true);
+
+  Out.NumRoArrays = 1 + static_cast<int>(R.nextBelow(3));
+  std::vector<int> Ro;
+  for (int A = 0; A < Out.NumRoArrays; ++A)
+    Ro.push_back(F.addArray("ro" + std::to_string(A), ElemType::I32, true));
+  Out.HasRwTable = R.nextBool(0.5);
+  int Rw = -1, IdxArr = -1;
+  if (Out.HasRwTable) {
+    IdxArr = F.addArray("iarr", ElemType::I32, true);
+    Rw = F.addArray("rw", ElemType::I32);
+  }
+
+  LoopGen G{R, F, {Inv}, Ro};
+  std::vector<Stmt *> Body;
+
+  // Prologue: define the temporaries (unconditionally, so later reads are
+  // killed within the iteration).
+  Body.push_back(F.assignScalar(T1, G.randomValue(2)));
+  G.ReadableScalars.push_back(T1);
+  Body.push_back(F.assignScalar(T2, G.randomValue(2)));
+  G.ReadableScalars.push_back(T2);
+
+  // Optional early exit (top level, before the other patterns).
+  if (HasExit) {
+    // Rare-ish exit: equality against a constant.
+    const Expr *Cond = F.compare(
+        CmpKind::EQ,
+        F.binary(BinOp::And, G.randomValue(1),
+                 F.constInt(ElemType::I32, 1023)),
+        F.constInt(ElemType::I32, 77));
+    Stmt *Guard = F.makeIfShell(Cond);
+    F.addThen(Guard, F.assignScalar(ExitPos, F.indexRef()));
+    F.addThen(Guard, F.makeBreak());
+    Body.push_back(Guard);
+    Out.HasExit = true;
+  }
+
+  // Optional plain masked region.
+  if (R.nextBool(0.5)) {
+    Stmt *If = F.makeIfShell(G.randomCond(1));
+    F.addThen(If, F.assignScalar(T2, G.randomValue(2)));
+    if (R.nextBool(0.4))
+      F.addElse(If, F.assignScalar(T1, G.randomValue(1)));
+    Body.push_back(If);
+  }
+
+  // Optional conditional update.
+  if (HasUpdate) {
+    const Expr *Cand = F.scalarRef(R.nextBool(0.5) ? T1 : T2);
+    Stmt *Guard = F.makeIfShell(
+        F.compare(CmpKind::LT, Cand, F.scalarRef(Best)));
+    F.addThen(Guard, F.assignScalar(Best, Cand));
+    F.addThen(Guard, F.assignScalar(Pay, F.indexRef()));
+    Body.push_back(Guard);
+    Out.HasUpdate = true;
+  }
+
+  // Optional memory-conflict block (after any update region; disjoint).
+  if (Out.HasRwTable) {
+    int J = F.addScalar("j", ElemType::I32);
+    Body.push_back(F.assignScalar(J, F.arrayRef(IdxArr, F.indexRef())));
+    const Expr *JRef = F.scalarRef(J);
+    const Expr *NewVal =
+        F.binary(BinOp::Add, F.arrayRef(Rw, JRef),
+                 F.binary(BinOp::And, G.randomValue(1),
+                          F.constInt(ElemType::I32, 15)));
+    Body.push_back(F.storeArray(Rw, JRef, NewVal));
+  }
+
+  F.setBody(Body);
+  return Out;
+}
+
+void runCase(uint64_t Seed) {
+  Rng R(Seed);
+  BuiltLoop BL = buildRandomLoop(R, Seed);
+  LoopFunction &F = *BL.F;
+
+  core::PipelineResult PR = core::compileLoop(F, /*RtmTile=*/64);
+  ASSERT_TRUE(PR.Plan.Vectorizable)
+      << "seed " << Seed << ": " << PR.Plan.Reason << "\n" << F.print();
+
+  for (int Input = 0; Input < 3; ++Input) {
+    int64_t Trip = 1 + static_cast<int64_t>(R.nextBelow(500));
+    mem::Memory M;
+    mem::BumpAllocator Alloc(M);
+    Bindings B = Bindings::forFunction(F);
+
+    // RO arrays sized for both affine (trip) and masked-indirect (256)
+    // subscripts.
+    int64_t RoLen = std::max<int64_t>(Trip, 256);
+    int ArrayId = 0;
+    for (int A = 0; A < BL.NumRoArrays; ++A) {
+      std::vector<int32_t> Data(static_cast<size_t>(RoLen));
+      for (auto &V : Data)
+        V = static_cast<int32_t>(R.nextInRange(-100, 100));
+      B.ArrayBases[ArrayId++] = Alloc.allocArray(Data);
+    }
+    if (BL.HasRwTable) {
+      std::vector<int32_t> Idx(static_cast<size_t>(Trip));
+      for (auto &V : Idx)
+        V = static_cast<int32_t>(R.nextBelow(TableSize));
+      std::vector<int32_t> Table(static_cast<size_t>(TableSize));
+      for (auto &V : Table)
+        V = static_cast<int32_t>(R.nextInRange(-50, 50));
+      B.ArrayBases[ArrayId++] = Alloc.allocArray(Idx);
+      B.ArrayBases[ArrayId++] = Alloc.allocArray(Table);
+    }
+    B.setInt(0, Trip);
+    B.setInt(1, static_cast<int32_t>(R.nextInRange(-20, 20))); // inv
+    for (size_t S = 0; S < F.scalars().size(); ++S)
+      if (F.scalar(S).Name == "best")
+        B.setInt(static_cast<int>(S), 1 << 20);
+
+    core::RunOutcome Ref = core::runReference(F, M, B);
+    auto check = [&](const char *Name, const codegen::CompiledLoop &CL) {
+      core::RunOutcome Out = core::runProgram(CL, M, B);
+      ASSERT_TRUE(Out.Ok)
+          << "seed " << Seed << " " << Name << ": " << Out.Error << "\n"
+          << F.print();
+      ASSERT_TRUE(core::outcomesMatch(F, Ref, Out))
+          << "seed " << Seed << " " << Name << " diverges\n"
+          << F.print() << "\n" << CL.Prog.disassemble();
+    };
+    check("scalar", PR.Scalar);
+    if (PR.Traditional)
+      check("traditional", *PR.Traditional);
+    if (PR.Speculative)
+      check("speculative", *PR.Speculative);
+    if (PR.FlexVec)
+      check("flexvec", *PR.FlexVec);
+    if (PR.Rtm)
+      check("flexvec-rtm", *PR.Rtm);
+  }
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDifferential, AllVariantsMatchReference) {
+  // 8 random loops per gtest shard, 3 random inputs each.
+  for (int Case = 0; Case < 8; ++Case)
+    runCase(static_cast<uint64_t>(GetParam()) * 1000 +
+            static_cast<uint64_t>(Case));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0, 12));
+
+} // namespace

@@ -1,0 +1,332 @@
+//===- tests/IsaSemanticsTest.cpp - FlexVec instruction semantics ----------===//
+//
+// Encodes the paper's worked lane-by-lane examples as unit tests:
+//   * VPGATHERFF (Section 3.3.1)     - first-faulting gather
+//   * KFTM.EXC / KFTM.INC (Section 3.4) - partial mask generation
+//   * VPSLCTLAST (Section 3.5)       - select-last broadcast
+//   * VPCONFLICTM (Section 3.6)      - conflict detection, both examples
+//
+// The paper lays vector elements out left to right; lane 0 is the leftmost
+// element and the least significant mask bit here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "emu/Machine.h"
+#include "isa/Program.h"
+#include "support/Bits.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace flexvec;
+using namespace flexvec::isa;
+using namespace flexvec::emu;
+
+namespace {
+
+/// Builds a mask from per-lane bits listed lane 0 first (paper layout).
+uint64_t maskOf(std::initializer_list<int> Bits) {
+  uint64_t M = 0;
+  unsigned Lane = 0;
+  for (int B : Bits) {
+    if (B)
+      M |= 1ULL << Lane;
+    ++Lane;
+  }
+  return M;
+}
+
+class IsaSemantics : public ::testing::Test {
+protected:
+  mem::Memory M;
+  Machine Mach{M};
+
+  /// Runs a single-instruction program (plus halt).
+  void runOne(const Instruction &I) {
+    ProgramBuilder B;
+    B.emit(I);
+    B.halt();
+    Program P = B.finalize();
+    ExecResult R = Mach.run(P);
+    ASSERT_EQ(R.Reason, StopReason::Halted);
+  }
+
+  void setLanesI32(unsigned VReg, std::initializer_list<int> Values) {
+    unsigned Lane = 0;
+    for (int V : Values)
+      Mach.vectorReg(VReg).setLaneInt(ElemType::I32, Lane++, V);
+  }
+
+  std::vector<int32_t> lanesI32(unsigned VReg) {
+    std::vector<int32_t> Out;
+    for (unsigned L = 0; L < 16; ++L)
+      Out.push_back(static_cast<int32_t>(
+          Mach.getVector(VReg).laneInt(ElemType::I32, L)));
+    return Out;
+  }
+};
+
+// --- KFTM.EXC / KFTM.INC (Section 3.4 examples) ---------------------------===//
+
+TEST_F(IsaSemantics, KftmExcPaperExample) {
+  // k3 = 1100011100000000, k2 = 0001110000000000 (lane 0 leftmost).
+  Mach.setMask(3, maskOf({1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}));
+  Mach.setMask(2, maskOf({0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  ProgramBuilder B;
+  B.kftmExc(Reg::mask(1), ElemType::I32, Reg::mask(2), Reg::mask(3));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getMask(1),
+            maskOf({0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST_F(IsaSemantics, KftmIncPaperExample) {
+  Mach.setMask(3, maskOf({1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}));
+  Mach.setMask(2, maskOf({0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  ProgramBuilder B;
+  B.kftmInc(Reg::mask(1), ElemType::I32, Reg::mask(2), Reg::mask(3));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getMask(1),
+            maskOf({0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST_F(IsaSemantics, KftmExcNoStopGivesAllEnabled) {
+  Mach.setMask(3, 0);
+  Mach.setMask(2, 0x0FF0);
+  ProgramBuilder B;
+  B.kftmExc(Reg::mask(1), ElemType::I32, Reg::mask(2), Reg::mask(3));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getMask(1), 0x0FF0u);
+}
+
+TEST_F(IsaSemantics, KftmExcLeadingLaneMakesProgress) {
+  // A stop bit at the leading enabled lane is ignored: that lane has no
+  // preceding lanes left to wait for. This is what guarantees forward
+  // progress of the Figure 2(b) do/while VPL.
+  Mach.setMask(3, maskOf({0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  Mach.setMask(2, maskOf({0, 0, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  ProgramBuilder B;
+  B.kftmExc(Reg::mask(1), ElemType::I32, Reg::mask(2), Reg::mask(3));
+  B.halt();
+  Mach.run(B.finalize());
+  // Lanes 2 (leading), 3, 4 execute; the stop at lane 5 still blocks.
+  EXPECT_EQ(Mach.getMask(1),
+            maskOf({0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+/// Property: the do/while VPL protocol terminates and covers every lane
+/// exactly once for any stop mask.
+TEST_F(IsaSemantics, KftmExcVplProtocolProperty) {
+  Rng R(99);
+  for (int Case = 0; Case < 200; ++Case) {
+    uint64_t Loop = R.next() & 0xFFFF;
+    uint64_t Stop = R.next() & 0xFFFF;
+    uint64_t Todo = Loop;
+    uint64_t CurStop = Stop & Todo;
+    uint64_t Covered = 0;
+    int Rounds = 0;
+    do {
+      Mach.setMask(4, Todo);
+      Mach.setMask(5, CurStop);
+      ProgramBuilder B;
+      B.kftmExc(Reg::mask(6), ElemType::I32, Reg::mask(4), Reg::mask(5));
+      B.halt();
+      Mach.run(B.finalize());
+      uint64_t Safe = Mach.getMask(6);
+      if (Todo != 0) {
+        ASSERT_NE(Safe, 0u) << "VPL must make progress";
+      }
+      ASSERT_EQ(Safe & Covered, 0u) << "lane executed twice";
+      ASSERT_EQ(Safe & ~Todo, 0u) << "safe lanes must be pending";
+      Covered |= Safe;
+      Todo &= ~Safe;
+      CurStop &= Todo;
+      ASSERT_LT(++Rounds, 64) << "VPL failed to terminate";
+    } while (CurStop != 0);
+    // Final round (stop empty) covers the remainder by construction.
+    EXPECT_EQ((Covered | Todo), Loop);
+  }
+}
+
+// --- VPSLCTLAST (Section 3.5) ----------------------------------------------===//
+
+TEST_F(IsaSemantics, SlctLastPaperExample) {
+  // v1 = a..p; k1 has lanes 3..7 set; the last set bit is lane 7, so 'h'
+  // (= v1[7]) is broadcast to every lane of the destination.
+  for (unsigned L = 0; L < 16; ++L)
+    Mach.vectorReg(1).setLaneInt(ElemType::I32, L, 'a' + static_cast<int>(L));
+  Mach.setMask(1, maskOf({0, 0, 0, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}));
+  ProgramBuilder B;
+  B.vslctlast(Reg::vector(2), ElemType::I32, Reg::mask(1), Reg::vector(1));
+  B.halt();
+  Mach.run(B.finalize());
+  for (unsigned L = 0; L < 16; ++L)
+    EXPECT_EQ(Mach.getVector(2).laneInt(ElemType::I32, L), 'h') << L;
+}
+
+TEST_F(IsaSemantics, SlctLastEmptyMaskSelectsLastLane) {
+  for (unsigned L = 0; L < 16; ++L)
+    Mach.vectorReg(1).setLaneInt(ElemType::I32, L, 100 + static_cast<int>(L));
+  Mach.setMask(1, 0);
+  ProgramBuilder B;
+  B.vslctlast(Reg::vector(2), ElemType::I32, Reg::mask(1), Reg::vector(1));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getVector(2).laneInt(ElemType::I32, 0), 115);
+}
+
+// --- VPCONFLICTM (Section 3.6, both examples) -------------------------------===//
+
+TEST_F(IsaSemantics, ConflictPaperExampleNoWriteMask) {
+  setLanesI32(1, {1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 0xa, 0xa});
+  setLanesI32(2, {0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 0xa, 0xa});
+  ProgramBuilder B;
+  B.vconflictm(Reg::mask(1), ElemType::I32, Reg::none(), Reg::vector(1),
+               Reg::vector(2));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getMask(1),
+            maskOf({0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 1}));
+}
+
+TEST_F(IsaSemantics, ConflictPaperExampleWithWriteMask) {
+  setLanesI32(1, {1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 0xa, 0xa});
+  setLanesI32(2, {0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 0xa, 0xa});
+  Mach.setMask(2, maskOf({0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1}));
+  ProgramBuilder B;
+  B.vconflictm(Reg::mask(1), ElemType::I32, Reg::mask(2), Reg::vector(1),
+               Reg::vector(2));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getMask(1),
+            maskOf({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}));
+}
+
+TEST_F(IsaSemantics, ConflictNoMatchesYieldsEmptyMask) {
+  setLanesI32(1, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  setLanesI32(2, {20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34,
+                  35});
+  ProgramBuilder B;
+  B.vconflictm(Reg::mask(1), ElemType::I32, Reg::none(), Reg::vector(1),
+               Reg::vector(2));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(Mach.getMask(1), 0u);
+}
+
+// --- VPGATHERFF (Section 3.3.1 example) --------------------------------------===//
+
+TEST_F(IsaSemantics, GatherFFPaperExample) {
+  // Data a..p at valid indices; faulting locations at lanes 1, 6, and 12
+  // (via indices pointing into unmapped memory). Lanes 0 and 1 are masked
+  // off, so lane 2 is the non-speculative element. The fault at lane 6 —
+  // the leftmost active speculative fault — zeroes mask bits 6..15.
+  constexpr uint64_t Base = 0x20000;
+  M.map(Base, 16 * 4);
+  for (int I = 0; I < 16; ++I)
+    M.set<int32_t>(Base + static_cast<uint64_t>(I) * 4, 'a' + I);
+
+  // Index vector: lane L gathers element L, except lanes 1, 6, 12 which
+  // point far past mapped memory.
+  for (unsigned L = 0; L < 16; ++L)
+    Mach.vectorReg(3).setLaneInt(ElemType::I32, L,
+                                 (L == 1 || L == 6 || L == 12) ? 1 << 20
+                                                               : static_cast<int>(L));
+  Mach.setMask(1, 0xFFFC); // Lanes 0,1 disabled.
+  for (unsigned L = 0; L < 16; ++L)
+    Mach.vectorReg(1).setLaneInt(ElemType::I32, L, 7);
+  Mach.setScalar(2, static_cast<int64_t>(Base));
+
+  ProgramBuilder B;
+  B.vgatherff(Reg::vector(1), ElemType::I32, Reg::mask(1), Reg::scalar(2),
+              Reg::vector(3), 4, 0);
+  B.halt();
+  ExecResult R = Mach.run(B.finalize());
+  ASSERT_EQ(R.Reason, StopReason::Halted) << "speculative faults suppressed";
+
+  std::vector<int32_t> V = lanesI32(1);
+  EXPECT_EQ(V[0], 7);
+  EXPECT_EQ(V[1], 7);
+  EXPECT_EQ(V[2], 'c');
+  EXPECT_EQ(V[3], 'd');
+  EXPECT_EQ(V[4], 'e');
+  EXPECT_EQ(V[5], 'f');
+  for (unsigned L = 6; L < 16; ++L)
+    EXPECT_EQ(V[L], 7) << "lane " << L << " must be untouched";
+  EXPECT_EQ(Mach.getMask(1),
+            maskOf({0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST_F(IsaSemantics, GatherFFNonSpeculativeFaultIsArchitectural) {
+  Mach.setMask(1, 0xFFFF);
+  for (unsigned L = 0; L < 16; ++L)
+    Mach.vectorReg(3).setLaneInt(ElemType::I32, L, 1 << 20); // All unmapped.
+  Mach.setScalar(2, 0x20000);
+  ProgramBuilder B;
+  B.vgatherff(Reg::vector(1), ElemType::I32, Reg::mask(1), Reg::scalar(2),
+              Reg::vector(3), 4, 0);
+  B.halt();
+  ExecResult R = Mach.run(B.finalize());
+  EXPECT_EQ(R.Reason, StopReason::Fault)
+      << "a fault on the leftmost enabled element must be delivered";
+}
+
+TEST_F(IsaSemantics, MovFFClipsAtPageBoundary) {
+  // Map exactly 8 elements ending at a page boundary; a 16-lane load from
+  // the start must return the 8 valid elements and clear mask bits 8..15.
+  constexpr uint64_t End = 0x30000;
+  constexpr uint64_t Bytes = 8 * 4;
+  M.map(End - mem::PageSize, mem::PageSize);
+  for (int I = 0; I < 8; ++I)
+    M.set<int32_t>(End - Bytes + static_cast<uint64_t>(I) * 4, 50 + I);
+
+  Mach.setMask(1, 0xFFFF);
+  Mach.setScalar(2, static_cast<int64_t>(End - Bytes));
+  ProgramBuilder B;
+  B.vmovff(Reg::vector(1), ElemType::I32, Reg::mask(1), Reg::scalar(2),
+           Reg::none(), 1, 0);
+  B.halt();
+  ExecResult R = Mach.run(B.finalize());
+  ASSERT_EQ(R.Reason, StopReason::Halted);
+  EXPECT_EQ(Mach.getMask(1), 0x00FFu);
+  for (unsigned L = 0; L < 8; ++L)
+    EXPECT_EQ(Mach.getVector(1).laneInt(ElemType::I32, L), 50 + (int)L);
+}
+
+// --- Masked execution basics -------------------------------------------------===//
+
+TEST_F(IsaSemantics, MaskedAddMergesInactiveLanes) {
+  setLanesI32(1, {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1});
+  setLanesI32(2, {2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2});
+  setLanesI32(3, {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9});
+  Mach.setMask(1, 0x00F0);
+  ProgramBuilder B;
+  B.vbinOp(Opcode::VAdd, ElemType::I32, Reg::vector(3), Reg::vector(1),
+           Reg::vector(2), Reg::mask(1));
+  B.halt();
+  Mach.run(B.finalize());
+  for (unsigned L = 0; L < 16; ++L)
+    EXPECT_EQ(Mach.getVector(3).laneInt(ElemType::I32, L),
+              (L >= 4 && L < 8) ? 3 : 9);
+}
+
+TEST_F(IsaSemantics, ScatterStoresLanesInAscendingOrder) {
+  // Two lanes writing the same slot: the later lane must win, matching
+  // scalar iteration order.
+  constexpr uint64_t Base = 0x40000;
+  M.map(Base, 64);
+  setLanesI32(1, {5, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  setLanesI32(2, {111, 222, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  Mach.setMask(1, 0x3);
+  Mach.setScalar(2, static_cast<int64_t>(Base));
+  ProgramBuilder B;
+  B.vscatter(ElemType::I32, Reg::mask(1), Reg::scalar(2), Reg::vector(1), 4,
+             0, Reg::vector(2));
+  B.halt();
+  Mach.run(B.finalize());
+  EXPECT_EQ(M.get<int32_t>(Base + 20), 222);
+}
+
+} // namespace

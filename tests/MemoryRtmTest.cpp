@@ -1,0 +1,203 @@
+//===- tests/MemoryRtmTest.cpp - Paged memory and RTM unit tests -----------===//
+
+#include "memory/Memory.h"
+#include "rtm/Transaction.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace flexvec;
+using namespace flexvec::mem;
+using namespace flexvec::rtm;
+
+TEST(Memory, UnmappedAccessFaults) {
+  Memory M;
+  int32_t V;
+  AccessResult R = M.readValue(0x1000, V);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.FaultAddr, 0x1000u);
+}
+
+TEST(Memory, MapReadWriteRoundTrip) {
+  Memory M;
+  M.map(0x1000, 8192);
+  M.set<int64_t>(0x1F00, 0x1122334455667788LL);
+  EXPECT_EQ(M.get<int64_t>(0x1F00), 0x1122334455667788LL);
+  EXPECT_EQ(M.get<int32_t>(0x1F00), 0x55667788);
+}
+
+TEST(Memory, CrossPageAccessWorks) {
+  Memory M;
+  M.map(0x1000, 2 * PageSize);
+  uint64_t Addr = 0x1000 + PageSize - 4;
+  M.set<int64_t>(Addr, -1234567890123LL);
+  EXPECT_EQ(M.get<int64_t>(Addr), -1234567890123LL);
+}
+
+TEST(Memory, CrossPageFaultHasNoPartialEffect) {
+  Memory M;
+  M.map(0x1000, PageSize); // Second page unmapped.
+  uint64_t Addr = 0x1000 + PageSize - 4;
+  int64_t Probe = 0x0102030405060708LL;
+  AccessResult W = M.write(Addr, &Probe, 8);
+  EXPECT_FALSE(W.Ok);
+  // The first 4 bytes must be untouched.
+  EXPECT_EQ(M.get<int32_t>(Addr), 0);
+}
+
+TEST(Memory, PermissionsEnforced) {
+  Memory M;
+  M.map(0x1000, PageSize, PermRead);
+  int32_t V = 7;
+  EXPECT_TRUE(M.read(0x1000, &V, 4).Ok);
+  EXPECT_FALSE(M.write(0x1000, &V, 4).Ok);
+}
+
+TEST(Memory, FingerprintDetectsSingleByteChange) {
+  Memory A;
+  A.map(0x1000, PageSize);
+  A.set<int32_t>(0x1100, 42);
+  Memory B = A.clone();
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  EXPECT_TRUE(A.contentsEqual(B));
+  B.set<int32_t>(0x1104, 1);
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  EXPECT_FALSE(A.contentsEqual(B));
+}
+
+TEST(Memory, BumpAllocatorLeavesGuardPages) {
+  Memory M;
+  BumpAllocator Alloc(M);
+  uint64_t A = Alloc.alloc(100);
+  uint64_t B = Alloc.alloc(100);
+  // The gap between allocations must contain an unmapped page.
+  EXPECT_GE(B - A, PageSize);
+  int32_t V;
+  bool FoundGuard = false;
+  for (uint64_t P = A + 100; P + 4 <= B; P += PageSize)
+    FoundGuard |= !M.readValue(P, V).Ok;
+  EXPECT_TRUE(FoundGuard);
+}
+
+// --- RTM ---------------------------------------------------------------===//
+
+class RtmTest : public ::testing::Test {
+protected:
+  void SetUp() override { M.map(0x1000, 4 * PageSize); }
+  Memory M;
+};
+
+TEST_F(RtmTest, CommitMakesWritesPermanent) {
+  TransactionManager Tx(M);
+  Tx.begin();
+  AbortReason Reason;
+  int32_t V = 77;
+  ASSERT_TRUE(Tx.write(0x1100, &V, 4, Reason));
+  Tx.commit();
+  EXPECT_EQ(M.get<int32_t>(0x1100), 77);
+  EXPECT_EQ(Tx.stats().Commits, 1u);
+}
+
+TEST_F(RtmTest, AbortRollsBackAllWrites) {
+  M.set<int32_t>(0x1100, 10);
+  M.set<int32_t>(0x1200, 20);
+  TransactionManager Tx(M);
+  Tx.begin();
+  AbortReason Reason;
+  int32_t V = 99;
+  ASSERT_TRUE(Tx.write(0x1100, &V, 4, Reason));
+  ASSERT_TRUE(Tx.write(0x1200, &V, 4, Reason));
+  ASSERT_TRUE(Tx.write(0x1100, &V, 4, Reason)); // Overwrite again.
+  Tx.abort(AbortReason::Explicit);
+  EXPECT_EQ(M.get<int32_t>(0x1100), 10);
+  EXPECT_EQ(M.get<int32_t>(0x1200), 20);
+  EXPECT_EQ(Tx.stats().AbortsExplicit, 1u);
+}
+
+TEST_F(RtmTest, FaultInsideTransactionAbortsAndRollsBack) {
+  M.set<int32_t>(0x1100, 10);
+  TransactionManager Tx(M);
+  Tx.begin();
+  AbortReason Reason;
+  int32_t V = 99;
+  ASSERT_TRUE(Tx.write(0x1100, &V, 4, Reason));
+  // Unmapped address.
+  EXPECT_FALSE(Tx.write(0x900000, &V, 4, Reason));
+  EXPECT_EQ(Reason, AbortReason::Fault);
+  EXPECT_FALSE(Tx.isActive());
+  EXPECT_EQ(M.get<int32_t>(0x1100), 10);
+}
+
+TEST_F(RtmTest, WriteSetCapacityOverflowAborts) {
+  TxLimits Limits;
+  Limits.MaxWriteSetLines = 4;
+  TransactionManager Tx(M, Limits);
+  Tx.begin();
+  AbortReason Reason = AbortReason::None;
+  int32_t V = 1;
+  bool Ok = true;
+  for (int Line = 0; Line < 8 && Ok; ++Line)
+    Ok = Tx.write(0x1000 + static_cast<uint64_t>(Line) * 64, &V, 4, Reason);
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Reason, AbortReason::Capacity);
+  EXPECT_EQ(Tx.stats().AbortsByCapacity, 1u);
+  // Every tentative write rolled back.
+  for (int Line = 0; Line < 4; ++Line)
+    EXPECT_EQ(M.get<int32_t>(0x1000 + static_cast<uint64_t>(Line) * 64), 0);
+}
+
+TEST_F(RtmTest, ReadSetCapacityOverflowAborts) {
+  TxLimits Limits;
+  Limits.MaxReadSetLines = 4;
+  TransactionManager Tx(M, Limits);
+  Tx.begin();
+  AbortReason Reason = AbortReason::None;
+  int32_t V;
+  bool Ok = true;
+  for (int Line = 0; Line < 8 && Ok; ++Line)
+    Ok = Tx.read(0x1000 + static_cast<uint64_t>(Line) * 64, &V, 4, Reason);
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Reason, AbortReason::Capacity);
+}
+
+TEST_F(RtmTest, NonTransactionalPathPassesThrough) {
+  TransactionManager Tx(M);
+  AbortReason Reason;
+  int32_t V = 5;
+  EXPECT_TRUE(Tx.write(0x1100, &V, 4, Reason));
+  EXPECT_EQ(M.get<int32_t>(0x1100), 5);
+  EXPECT_EQ(Tx.stats().Begins, 0u);
+}
+
+/// Property: randomized transactional histories either commit (final state
+/// = all writes applied) or abort (final state = initial).
+TEST_F(RtmTest, RandomizedAbortCommitProperty) {
+  Rng R(7);
+  for (int Case = 0; Case < 100; ++Case) {
+    Memory Mem2;
+    Mem2.map(0x1000, 2 * PageSize);
+    std::vector<int32_t> Shadow(512, 0);
+    TransactionManager Tx(Mem2);
+    Tx.begin();
+    AbortReason Reason;
+    std::vector<std::pair<size_t, int32_t>> Writes;
+    int NumWrites = 1 + static_cast<int>(R.nextBelow(20));
+    for (int W = 0; W < NumWrites; ++W) {
+      size_t Slot = R.nextBelow(512);
+      int32_t Val = static_cast<int32_t>(R.next());
+      int32_t V = Val;
+      ASSERT_TRUE(
+          Tx.write(0x1000 + Slot * 4, &V, 4, Reason));
+      Writes.push_back({Slot, Val});
+    }
+    if (R.nextBool(0.5)) {
+      Tx.commit();
+      for (auto &[Slot, Val] : Writes)
+        Shadow[Slot] = Val;
+    } else {
+      Tx.abort(AbortReason::Explicit);
+    }
+    for (size_t Slot = 0; Slot < 512; ++Slot)
+      ASSERT_EQ(Mem2.get<int32_t>(0x1000 + Slot * 4), Shadow[Slot]);
+  }
+}

@@ -1,0 +1,248 @@
+//===- tests/PdgAnalysisTest.cpp - PDG construction and pattern analysis ---===//
+//
+// Checks that the dependence graphs and plans for the paper's example
+// loops match the structures in Figures 2, 5, 6, and 7, plus reduction
+// idiom recognition and the loops FlexVec must reject.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CostModel.h"
+#include "analysis/Patterns.h"
+#include "pdg/Pdg.h"
+#include "workloads/PaperLoops.h"
+
+#include <gtest/gtest.h>
+
+using namespace flexvec;
+using namespace flexvec::ir;
+using namespace flexvec::pdg;
+using namespace flexvec::analysis;
+using isa::CmpKind;
+using isa::ElemType;
+
+namespace {
+
+bool hasEdge(const Pdg &P, int From, int To, DepKind Kind) {
+  for (const DepEdge &E : P.edges())
+    if (E.From == From && E.To == To && E.Kind == Kind)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Affine, MatchesCanonicalForms) {
+  LoopFunction F("t");
+  int N = F.addScalar("n", ElemType::I64);
+  F.setTripCountScalar(N);
+  int A = F.addArray("a", ElemType::I32, true);
+
+  EXPECT_TRUE(matchAffine(F.indexRef()).has_value());
+  auto Plus = matchAffine(
+      F.binary(BinOp::Add, F.indexRef(), F.constInt(ElemType::I64, 3)));
+  ASSERT_TRUE(Plus.has_value());
+  EXPECT_EQ(Plus->Offset, 3);
+  auto Minus = matchAffine(
+      F.binary(BinOp::Sub, F.indexRef(), F.constInt(ElemType::I64, 2)));
+  ASSERT_TRUE(Minus.has_value());
+  EXPECT_EQ(Minus->Offset, -2);
+  // Indirect subscripts are not affine.
+  EXPECT_FALSE(matchAffine(F.arrayRef(A, F.indexRef())).has_value());
+}
+
+TEST(Pdg, H264HasCarriedScalarArcs) {
+  auto F = workloads::buildH264Loop();
+  Pdg P(*F);
+  // S1 = outer if, S5 = inner if, S6 = min_mcost update (creation order in
+  // buildH264Loop: Outer=1, LoadSad=2, LoadCand=3, AddMv=4, Inner=5,
+  // Upd=6, Payload=7).
+  EXPECT_TRUE(hasEdge(P, 6, 1, DepKind::ScalarFlowCarried))
+      << "min_mcost def must reach the outer guard in the next iteration\n"
+      << P.dump();
+  EXPECT_TRUE(hasEdge(P, 6, 5, DepKind::ScalarFlowCarried));
+  // mcost is killed by its unconditional-in-region def at S2 — no carried
+  // self arc for S4 (mcost = mcost + mv[cand]).
+  EXPECT_FALSE(hasEdge(P, 4, 4, DepKind::ScalarFlowCarried))
+      << "kill analysis must suppress the within-iteration recurrence\n"
+      << P.dump();
+  // The relaxed graph must be acyclic.
+  VectorizationPlan Plan = analyzeLoop(P);
+  EXPECT_TRUE(Plan.Vectorizable) << Plan.Reason;
+}
+
+TEST(Pdg, ConflictLoopHasMaybeCarriedMemoryArc) {
+  auto F = workloads::buildConflictLoop();
+  Pdg P(*F);
+  // S5 (store d_arr) -> S4 (guard loading d_arr).
+  EXPECT_TRUE(hasEdge(P, 5, 4, DepKind::MemoryMaybeCarried)) << P.dump();
+  auto Sccs = P.nontrivialSccs();
+  ASSERT_FALSE(Sccs.empty()) << "the unrelaxed PDG must be cyclic";
+}
+
+TEST(Pdg, EarlyExitLoopHasBackwardControlArc) {
+  auto F = workloads::buildEarlyExitLoop();
+  Pdg P(*F);
+  // Guard S3 -> loop header (node 0).
+  EXPECT_TRUE(hasEdge(P, 3, Pdg::HeaderNode, DepKind::ControlCarried))
+      << P.dump();
+}
+
+TEST(Pdg, ProvableDistanceIsComputed) {
+  LoopFunction F("recur");
+  int N = F.addScalar("n", ElemType::I64);
+  F.setTripCountScalar(N);
+  int A = F.addArray("a", ElemType::I32);
+  // a[i+1] = a[i] + 1: provable carried flow, distance 1.
+  auto *S = F.storeArray(
+      A, F.binary(BinOp::Add, F.indexRef(), F.constInt(ElemType::I64, 1)),
+      F.binary(BinOp::Add, F.arrayRef(A, F.indexRef()),
+               F.constInt(ElemType::I32, 1)));
+  F.setBody({S});
+  Pdg P(F);
+  bool Found = false;
+  for (const DepEdge &E : P.edges())
+    if (E.Kind == DepKind::MemoryFlowCarried) {
+      Found = true;
+      EXPECT_EQ(E.Distance, 1);
+    }
+  EXPECT_TRUE(Found);
+  // And the analysis must reject the loop.
+  VectorizationPlan Plan = analyzeLoop(P);
+  EXPECT_FALSE(Plan.Vectorizable);
+}
+
+TEST(Analysis, H264PlanShape) {
+  auto F = workloads::buildH264Loop();
+  Pdg P(*F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  ASSERT_TRUE(Plan.Vectorizable) << Plan.Reason;
+  ASSERT_EQ(Plan.CondUpdateVpls.size(), 1u);
+  const CondUpdateVpl &V = Plan.CondUpdateVpls[0];
+  ASSERT_EQ(V.Updates.size(), 2u) << "min_mcost + best_pos payload";
+  EXPECT_EQ(V.Updates[0].ScalarId, 1); // min_mcost
+  EXPECT_EQ(V.Updates[1].ScalarId, 2); // best_pos
+  EXPECT_FALSE(V.Updates[1].UsedInLoop);
+  // Loads guarded by the stale value are speculative: S3 (spiral load) and
+  // S4 (mv gather) — plus S2 which also reads an array under the guard.
+  EXPECT_TRUE(Plan.isSpeculative(3));
+  EXPECT_TRUE(Plan.isSpeculative(4));
+}
+
+TEST(Analysis, ConflictPlanShape) {
+  auto F = workloads::buildConflictLoop();
+  Pdg P(*F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  ASSERT_TRUE(Plan.Vectorizable) << Plan.Reason;
+  ASSERT_EQ(Plan.MemConflictVpls.size(), 1u);
+  EXPECT_EQ(Plan.MemConflictVpls[0].ArrayId, 2); // d_arr
+  ASSERT_EQ(Plan.MemConflictVpls[0].LoadIndices.size(), 1u);
+  // Both subscripts are the same expression node (evaluated once).
+  EXPECT_EQ(Plan.MemConflictVpls[0].LoadIndices[0],
+            Plan.MemConflictVpls[0].StoreIndex);
+  EXPECT_TRUE(Plan.SpeculativeLoadNodes.empty())
+      << "conflict loops need no load speculation";
+}
+
+TEST(Analysis, PureMinReductionIsTraditional) {
+  // if (a[i] < m) m = a[i];  — with m otherwise unused: a classic min
+  // idiom, vectorizable without FlexVec.
+  LoopFunction F("pure_min");
+  int N = F.addScalar("n", ElemType::I64);
+  int Min = F.addScalar("m", ElemType::I32, /*IsLiveOut=*/true);
+  int A = F.addArray("a", ElemType::I32, true);
+  F.setTripCountScalar(N);
+  Stmt *Guard = F.makeIfShell(F.compare(CmpKind::LT,
+                                        F.arrayRef(A, F.indexRef()),
+                                        F.scalarRef(Min)));
+  F.addThen(Guard, F.assignScalar(Min, F.arrayRef(A, F.indexRef())));
+  F.setBody({Guard});
+
+  Pdg P(F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  ASSERT_TRUE(Plan.Vectorizable) << Plan.Reason;
+  EXPECT_FALSE(Plan.needsFlexVec())
+      << "idiom recognition must claim the recurrence";
+  ASSERT_EQ(Plan.Reductions.size(), 1u);
+  EXPECT_EQ(Plan.Reductions[0].Kind, ReductionKind::Min);
+}
+
+TEST(Analysis, SumReductionIsTraditional) {
+  LoopFunction F("sum");
+  int N = F.addScalar("n", ElemType::I64);
+  int S = F.addScalar("s", ElemType::I32, /*IsLiveOut=*/true);
+  int A = F.addArray("a", ElemType::I32, true);
+  F.setTripCountScalar(N);
+  F.setBody({F.assignScalar(
+      S, F.binary(BinOp::Add, F.scalarRef(S), F.arrayRef(A, F.indexRef())))});
+  Pdg P(F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  ASSERT_TRUE(Plan.Vectorizable) << Plan.Reason;
+  EXPECT_FALSE(Plan.needsFlexVec());
+  ASSERT_EQ(Plan.Reductions.size(), 1u);
+  EXPECT_EQ(Plan.Reductions[0].Kind, ReductionKind::Add);
+}
+
+TEST(Analysis, UnconditionalRecurrenceIsRejected) {
+  // s = a[s] every iteration: a genuine pointer-chase recurrence.
+  LoopFunction F("chase");
+  int N = F.addScalar("n", ElemType::I64);
+  int S = F.addScalar("s", ElemType::I32, /*IsLiveOut=*/true);
+  int A = F.addArray("a", ElemType::I32, true);
+  F.setTripCountScalar(N);
+  F.setBody({F.assignScalar(S, F.arrayRef(A, F.scalarRef(S)))});
+  Pdg P(F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  EXPECT_FALSE(Plan.Vectorizable);
+  // The live-out must nonetheless survive scalar codegen (tested via
+  // scalar programs elsewhere); here we only require a diagnostic.
+  EXPECT_FALSE(Plan.Reason.empty());
+}
+
+TEST(CostModel, PaperThresholds) {
+  auto F = workloads::buildH264Loop();
+  Pdg P(*F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  LoopShape Shape = computeLoopShape(*F);
+
+  LoopProfile Good;
+  Good.AvgTripCount = 1089;
+  Good.AvgDepEvents = 20;
+  Good.EffectiveVL = 1089.0 / 21.0;
+  Good.Coverage = 0.6;
+  EXPECT_TRUE(shouldVectorize(Plan, Shape, Good).Vectorize);
+
+  LoopProfile LowTrip = Good;
+  LowTrip.AvgTripCount = 8;
+  EXPECT_FALSE(shouldVectorize(Plan, Shape, LowTrip).Vectorize);
+
+  LoopProfile LowVl = Good;
+  LowVl.EffectiveVL = 3;
+  EXPECT_FALSE(shouldVectorize(Plan, Shape, LowVl).Vectorize);
+
+  LoopProfile Cold = Good;
+  Cold.Coverage = 0.01;
+  EXPECT_FALSE(shouldVectorize(Plan, Shape, Cold).Vectorize);
+}
+
+TEST(CostModel, MemToComputeRatioRejectsGatherOnlyLoops) {
+  // d[x[i]] = s[y[i]]: four memory ops, zero compute.
+  LoopFunction F("memonly");
+  int N = F.addScalar("n", ElemType::I64);
+  F.setTripCountScalar(N);
+  int X = F.addArray("x", ElemType::I32, true);
+  int S = F.addArray("s", ElemType::I32, true);
+  int D = F.addArray("d", ElemType::I32);
+  F.setBody({F.storeArray(D, F.arrayRef(X, F.indexRef()),
+                          F.arrayRef(S, F.arrayRef(X, F.indexRef())))});
+  LoopShape Shape = computeLoopShape(F);
+  EXPECT_GT(Shape.memToComputeRatio(), 2.0);
+  Pdg P(F);
+  VectorizationPlan Plan = analyzeLoop(P);
+  LoopProfile Prof;
+  Prof.AvgTripCount = 1000;
+  Prof.EffectiveVL = 100;
+  Prof.Coverage = 0.5;
+  CostDecision Dec = shouldVectorize(Plan, Shape, Prof);
+  EXPECT_FALSE(Dec.Vectorize);
+  EXPECT_NE(Dec.Reason.find("memory"), std::string::npos);
+}

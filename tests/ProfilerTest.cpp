@@ -1,0 +1,84 @@
+//===- tests/ProfilerTest.cpp - Loop profiler unit tests -------------------===//
+
+#include "pdg/Pdg.h"
+#include "profile/LoopProfiler.h"
+#include "workloads/PaperLoops.h"
+
+#include <gtest/gtest.h>
+
+using namespace flexvec;
+using namespace flexvec::profile;
+using namespace flexvec::workloads;
+
+TEST(Profiler, TripCountAndUpdateEvents) {
+  auto F = buildH264Loop();
+  pdg::Pdg P(*F);
+  analysis::VectorizationPlan Plan = analysis::analyzeLoop(P);
+  ASSERT_TRUE(Plan.Vectorizable);
+
+  Rng R(1);
+  LoopInputs In = genH264Inputs(*F, R, /*N=*/2000, /*UpdateProb=*/0.05);
+  LoopProfiler Prof(*F, Plan);
+  Prof.profileRun(In.Image, In.B);
+
+  EXPECT_EQ(Prof.counts().Invocations, 1u);
+  EXPECT_EQ(Prof.counts().Iterations, 2000u);
+  // ~5% update rate, generated exactly by the input builder's coin flips.
+  EXPECT_GT(Prof.counts().CondUpdateEvents, 60u);
+  EXPECT_LT(Prof.counts().CondUpdateEvents, 140u);
+
+  analysis::LoopProfile Summary = Prof.summarize(/*Coverage=*/0.6);
+  EXPECT_DOUBLE_EQ(Summary.AvgTripCount, 2000.0);
+  EXPECT_GT(Summary.EffectiveVL, 10.0);
+  EXPECT_LT(Summary.EffectiveVL, 35.0);
+}
+
+TEST(Profiler, ZeroUpdateProbabilityGivesHugeEffectiveVL) {
+  auto F = buildH264Loop();
+  pdg::Pdg P(*F);
+  analysis::VectorizationPlan Plan = analysis::analyzeLoop(P);
+  Rng R(2);
+  LoopInputs In = genH264Inputs(*F, R, 1000, 0.0);
+  LoopProfiler Prof(*F, Plan);
+  Prof.profileRun(In.Image, In.B);
+  EXPECT_EQ(Prof.counts().CondUpdateEvents, 0u);
+  EXPECT_DOUBLE_EQ(Prof.summarize(0.5).EffectiveVL, 1000.0);
+}
+
+TEST(Profiler, ConflictEventsTrackWindowedReuse) {
+  auto F = buildConflictLoop();
+  pdg::Pdg P(*F);
+  analysis::VectorizationPlan Plan = analysis::analyzeLoop(P);
+  ASSERT_EQ(Plan.MemConflictVpls.size(), 1u);
+
+  // High conflict probability → many events; zero → nearly none (random
+  // collisions within 16 iterations over a small table are still possible).
+  for (double Prob : {0.0, 0.5}) {
+    Rng R(3);
+    LoopInputs In = genConflictInputs(*F, R, 2000, Prob, /*TableSize=*/4096);
+    LoopProfiler Prof(*F, Plan);
+    Prof.profileRun(In.Image, In.B);
+    if (Prob == 0.0)
+      EXPECT_LT(Prof.counts().ConflictEvents, 50u);
+    else
+      EXPECT_GT(Prof.counts().ConflictEvents, 500u);
+  }
+}
+
+TEST(Profiler, BreakEventsAndMultiInvocation) {
+  auto F = buildEarlyExitLoop();
+  pdg::Pdg P(*F);
+  analysis::VectorizationPlan Plan = analysis::analyzeLoop(P);
+
+  Rng R(4);
+  LoopProfiler Prof(*F, Plan);
+  for (int Inv = 0; Inv < 10; ++Inv) {
+    LoopInputs In = genEarlyExitInputs(*F, R, 200, /*MatchPos=*/50);
+    Prof.profileRun(In.Image, In.B);
+  }
+  EXPECT_EQ(Prof.counts().Invocations, 10u);
+  EXPECT_EQ(Prof.counts().BreakEvents, 10u);
+  EXPECT_EQ(Prof.counts().Iterations, 510u); // 51 per invocation.
+  analysis::LoopProfile S = Prof.summarize(0.5);
+  EXPECT_DOUBLE_EQ(S.AvgTripCount, 51.0);
+}

@@ -1,0 +1,226 @@
+//===- tools/flexvec-cli.cpp - Command-line driver --------------------------===//
+//
+// Compile a loop written in the textual DSL (ir/Parser.h) through the full
+// FlexVec pipeline: print the analysis, disassemble the generated
+// programs, and optionally execute them on random inputs with correctness
+// cross-checking and Table 1 timing.
+//
+//   flexvec-cli LOOP.fv [options]
+//     --dump-pdg          print the program dependence graph
+//     --dump-all          disassemble every generated variant
+//     --run               execute on random inputs and report timing
+//     --trip=N            trip count for --run (default 10000)
+//     --seed=N            PRNG seed for --run (default 1)
+//     --arraysize=N       elements per array for --run (default 65536)
+//     --set NAME=V        initial value for scalar NAME (repeatable)
+//
+// Example:
+//   ./build/tools/flexvec-cli examples/loops/argmin.fv --run --trip=50000
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Measure.h"
+#include "core/Pipeline.h"
+#include "ir/Parser.h"
+#include "support/Random.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace flexvec;
+
+namespace {
+
+struct CliOptions {
+  std::string Path;
+  bool DumpPdg = false;
+  bool DumpAll = false;
+  bool Run = false;
+  int64_t Trip = 10000;
+  uint64_t Seed = 1;
+  int64_t ArraySize = 65536;
+  std::map<std::string, double> Sets;
+};
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    if (Arg == "--dump-pdg") {
+      Opts.DumpPdg = true;
+    } else if (Arg == "--dump-all") {
+      Opts.DumpAll = true;
+    } else if (Arg == "--run") {
+      Opts.Run = true;
+    } else if (Arg.rfind("--trip=", 0) == 0) {
+      Opts.Trip = std::atoll(Arg.c_str() + 7);
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      Opts.Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
+    } else if (Arg.rfind("--arraysize=", 0) == 0) {
+      Opts.ArraySize = std::atoll(Arg.c_str() + 12);
+    } else if (Arg == "--set" && A + 1 < Argc) {
+      std::string KV = Argv[++A];
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "error: --set expects NAME=VALUE\n");
+        return false;
+      }
+      Opts.Sets[KV.substr(0, Eq)] = std::atof(KV.c_str() + Eq + 1);
+    } else if (Arg[0] != '-') {
+      Opts.Path = Arg;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (Opts.Path.empty()) {
+    std::fprintf(stderr,
+                 "usage: flexvec-cli LOOP.fv [--dump-pdg] [--dump-all] "
+                 "[--run] [--trip=N] [--seed=N] [--arraysize=N] "
+                 "[--set NAME=V]\n");
+    return false;
+  }
+  return true;
+}
+
+void dumpVariant(const char *Name,
+                 const std::optional<codegen::CompiledLoop> &CL) {
+  if (!CL) {
+    std::printf("-- %s: not generated --\n\n", Name);
+    return;
+  }
+  std::printf("-- %s (%s) --\n%s\n", Name, CL->Notes.c_str(),
+              CL->Prog.disassemble().c_str());
+}
+
+int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
+            const CliOptions &Opts) {
+  Rng R(Opts.Seed);
+  mem::Memory Image;
+  mem::BumpAllocator Alloc(Image);
+  ir::Bindings B = ir::Bindings::forFunction(F);
+
+  for (size_t A = 0; A < F.arrays().size(); ++A) {
+    const ir::ArrayParam &P = F.array(static_cast<int>(A));
+    int64_t Len = std::max<int64_t>(Opts.Trip, Opts.ArraySize);
+    if (isFloatType(P.Elem) && isa::elemSize(P.Elem) == 4) {
+      std::vector<float> Data(static_cast<size_t>(Len));
+      for (auto &V : Data)
+        V = static_cast<float>(R.nextInRange(0, 100));
+      B.ArrayBases[A] = Alloc.allocArray(Data);
+    } else if (isFloatType(P.Elem)) {
+      std::vector<double> Data(static_cast<size_t>(Len));
+      for (auto &V : Data)
+        V = static_cast<double>(R.nextInRange(0, 100));
+      B.ArrayBases[A] = Alloc.allocArray(Data);
+    } else if (isa::elemSize(P.Elem) == 4) {
+      std::vector<int32_t> Data(static_cast<size_t>(Len));
+      for (auto &V : Data)
+        V = static_cast<int32_t>(R.nextBelow(100));
+      B.ArrayBases[A] = Alloc.allocArray(Data);
+    } else {
+      std::vector<int64_t> Data(static_cast<size_t>(Len));
+      for (auto &V : Data)
+        V = static_cast<int64_t>(R.nextBelow(100));
+      B.ArrayBases[A] = Alloc.allocArray(Data);
+    }
+  }
+  B.setInt(F.tripCountScalar(), Opts.Trip);
+  for (size_t S = 0; S < F.scalars().size(); ++S) {
+    auto It = Opts.Sets.find(F.scalar(static_cast<int>(S)).Name);
+    if (It == Opts.Sets.end())
+      continue;
+    if (isFloatType(F.scalar(static_cast<int>(S)).Type))
+      B.setFloat(F.scalar(static_cast<int>(S)).Type, static_cast<int>(S),
+                 It->second);
+    else
+      B.setInt(static_cast<int>(S), static_cast<int64_t>(It->second));
+  }
+
+  core::RunOutcome Ref = core::runReference(F, Image, B);
+  std::printf("== Run (trip=%lld, seed=%llu) ==\n",
+              static_cast<long long>(Opts.Trip),
+              static_cast<unsigned long long>(Opts.Seed));
+  std::printf("reference live-outs:");
+  for (size_t S = 0; S < F.scalars().size(); ++S)
+    if (F.scalar(static_cast<int>(S)).IsLiveOut)
+      std::printf(" %s=%lld", F.scalar(static_cast<int>(S)).Name.c_str(),
+                  static_cast<long long>(Ref.LiveOuts[S]));
+  std::printf("\n\n");
+
+  TextTable T({"variant", "cycles", "IPC", "speedup vs scalar", "correct"});
+  core::Measurement Base = core::measureProgram(PR.Scalar, Image, B);
+  auto row = [&](const char *Name,
+                 const std::optional<codegen::CompiledLoop> &CL) {
+    if (!CL)
+      return;
+    core::Measurement M = core::measureProgram(*CL, Image, B);
+    T.addRow({Name,
+              TextTable::fmtInt(static_cast<long long>(M.Timing.Cycles)),
+              TextTable::fmt(M.Timing.ipc(), 2),
+              TextTable::fmt(core::speedup(Base, M), 2) + "x",
+              core::outcomesMatch(F, Ref, M.Outcome) ? "yes" : "NO"});
+  };
+  row("scalar", PR.Scalar);
+  row("traditional", PR.Traditional);
+  row("speculative", PR.Speculative);
+  row("flexvec", PR.FlexVec);
+  row("flexvec-opt", PR.FlexVecOpt);
+  row("flexvec-rtm", PR.Rtm);
+  T.print();
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+
+  std::ifstream In(Opts.Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Opts.Path.c_str());
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  ir::ParseResult Parsed = ir::parseLoop(Buf.str());
+  if (!Parsed) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Opts.Path.c_str(),
+                 Parsed.Error.c_str());
+    return 1;
+  }
+  const ir::LoopFunction &F = *Parsed.F;
+
+  std::printf("== Parsed loop ==\n%s\n", F.print().c_str());
+
+  core::PipelineResult PR = core::compileLoop(F);
+  if (Opts.DumpPdg)
+    std::printf("== PDG ==\n%s\n", PR.PdgDump.c_str());
+  std::printf("== Analysis ==\n%s\n\n", PR.Plan.describe(F).c_str());
+
+  if (Opts.DumpAll) {
+    dumpVariant("scalar", std::optional<codegen::CompiledLoop>(PR.Scalar));
+    dumpVariant("traditional", PR.Traditional);
+    dumpVariant("speculative", PR.Speculative);
+    dumpVariant("flexvec", PR.FlexVec);
+    dumpVariant("flexvec-opt", PR.FlexVecOpt);
+    dumpVariant("flexvec-rtm", PR.Rtm);
+  } else if (PR.FlexVec) {
+    dumpVariant("flexvec", PR.FlexVec);
+  }
+
+  if (Opts.Run) {
+    if (!PR.Plan.Vectorizable)
+      std::printf("note: loop is not vectorizable (%s); running scalar "
+                  "only\n",
+                  PR.Plan.Reason.c_str());
+    return runLoop(F, PR, Opts);
+  }
+  return 0;
+}
