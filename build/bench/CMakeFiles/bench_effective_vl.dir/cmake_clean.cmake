@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effective_vl.dir/bench_effective_vl.cpp.o"
+  "CMakeFiles/bench_effective_vl.dir/bench_effective_vl.cpp.o.d"
+  "bench_effective_vl"
+  "bench_effective_vl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effective_vl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

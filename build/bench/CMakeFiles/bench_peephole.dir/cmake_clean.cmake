@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peephole.dir/bench_peephole.cpp.o"
+  "CMakeFiles/bench_peephole.dir/bench_peephole.cpp.o.d"
+  "bench_peephole"
+  "bench_peephole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peephole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtm_tile.dir/bench_rtm_tile.cpp.o"
+  "CMakeFiles/bench_rtm_tile.dir/bench_rtm_tile.cpp.o.d"
+  "bench_rtm_tile"
+  "bench_rtm_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtm_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

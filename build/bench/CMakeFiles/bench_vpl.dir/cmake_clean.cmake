@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vpl.dir/bench_vpl.cpp.o"
+  "CMakeFiles/bench_vpl.dir/bench_vpl.cpp.o.d"
+  "bench_vpl"
+  "bench_vpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

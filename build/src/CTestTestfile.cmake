@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("memory")
+subdirs("rtm")
+subdirs("emu")
+subdirs("ir")
+subdirs("pdg")
+subdirs("analysis")
+subdirs("profile")
+subdirs("codegen")
+subdirs("sim")
+subdirs("core")
+subdirs("workloads")

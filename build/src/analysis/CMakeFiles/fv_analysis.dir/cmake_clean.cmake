@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_analysis.dir/CostModel.cpp.o"
+  "CMakeFiles/fv_analysis.dir/CostModel.cpp.o.d"
+  "CMakeFiles/fv_analysis.dir/Patterns.cpp.o"
+  "CMakeFiles/fv_analysis.dir/Patterns.cpp.o.d"
+  "libfv_analysis.a"
+  "libfv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

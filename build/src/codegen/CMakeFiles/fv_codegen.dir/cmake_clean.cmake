@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_codegen.dir/Generators.cpp.o"
+  "CMakeFiles/fv_codegen.dir/Generators.cpp.o.d"
+  "CMakeFiles/fv_codegen.dir/Peephole.cpp.o"
+  "CMakeFiles/fv_codegen.dir/Peephole.cpp.o.d"
+  "CMakeFiles/fv_codegen.dir/ScalarCodeGen.cpp.o"
+  "CMakeFiles/fv_codegen.dir/ScalarCodeGen.cpp.o.d"
+  "CMakeFiles/fv_codegen.dir/VectorEmitter.cpp.o"
+  "CMakeFiles/fv_codegen.dir/VectorEmitter.cpp.o.d"
+  "libfv_codegen.a"
+  "libfv_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_core.dir/Evaluator.cpp.o"
+  "CMakeFiles/fv_core.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/fv_core.dir/Measure.cpp.o"
+  "CMakeFiles/fv_core.dir/Measure.cpp.o.d"
+  "CMakeFiles/fv_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/fv_core.dir/Pipeline.cpp.o.d"
+  "libfv_core.a"
+  "libfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_emu.dir/Machine.cpp.o"
+  "CMakeFiles/fv_emu.dir/Machine.cpp.o.d"
+  "libfv_emu.a"
+  "libfv_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

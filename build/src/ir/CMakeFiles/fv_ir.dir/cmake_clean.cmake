@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_ir.dir/IR.cpp.o"
+  "CMakeFiles/fv_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/fv_ir.dir/Interp.cpp.o"
+  "CMakeFiles/fv_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/fv_ir.dir/Parser.cpp.o"
+  "CMakeFiles/fv_ir.dir/Parser.cpp.o.d"
+  "libfv_ir.a"
+  "libfv_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_isa.dir/AsmParser.cpp.o"
+  "CMakeFiles/fv_isa.dir/AsmParser.cpp.o.d"
+  "CMakeFiles/fv_isa.dir/InstrInfo.cpp.o"
+  "CMakeFiles/fv_isa.dir/InstrInfo.cpp.o.d"
+  "CMakeFiles/fv_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/fv_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/fv_isa.dir/Opcode.cpp.o"
+  "CMakeFiles/fv_isa.dir/Opcode.cpp.o.d"
+  "CMakeFiles/fv_isa.dir/Program.cpp.o"
+  "CMakeFiles/fv_isa.dir/Program.cpp.o.d"
+  "libfv_isa.a"
+  "libfv_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

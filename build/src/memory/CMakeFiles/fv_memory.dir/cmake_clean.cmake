@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_memory.dir/Memory.cpp.o"
+  "CMakeFiles/fv_memory.dir/Memory.cpp.o.d"
+  "libfv_memory.a"
+  "libfv_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

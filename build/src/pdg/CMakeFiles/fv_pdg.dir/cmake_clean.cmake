@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_pdg.dir/Pdg.cpp.o"
+  "CMakeFiles/fv_pdg.dir/Pdg.cpp.o.d"
+  "libfv_pdg.a"
+  "libfv_pdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_pdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_profile.dir/LoopProfiler.cpp.o"
+  "CMakeFiles/fv_profile.dir/LoopProfiler.cpp.o.d"
+  "libfv_profile.a"
+  "libfv_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_rtm.dir/Transaction.cpp.o"
+  "CMakeFiles/fv_rtm.dir/Transaction.cpp.o.d"
+  "libfv_rtm.a"
+  "libfv_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Cache.cpp" "src/sim/CMakeFiles/fv_sim.dir/Cache.cpp.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/Cache.cpp.o.d"
+  "/root/repo/src/sim/OooCore.cpp" "src/sim/CMakeFiles/fv_sim.dir/OooCore.cpp.o" "gcc" "src/sim/CMakeFiles/fv_sim.dir/OooCore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/fv_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fv_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtm/CMakeFiles/fv_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fv_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

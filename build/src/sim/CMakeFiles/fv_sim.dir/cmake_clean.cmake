@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_sim.dir/Cache.cpp.o"
+  "CMakeFiles/fv_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/fv_sim.dir/OooCore.cpp.o"
+  "CMakeFiles/fv_sim.dir/OooCore.cpp.o.d"
+  "libfv_sim.a"
+  "libfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_support.dir/Statistics.cpp.o"
+  "CMakeFiles/fv_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/fv_support.dir/Table.cpp.o"
+  "CMakeFiles/fv_support.dir/Table.cpp.o.d"
+  "libfv_support.a"
+  "libfv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fv_workloads.dir/Benchmarks.cpp.o"
+  "CMakeFiles/fv_workloads.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/fv_workloads.dir/PaperLoops.cpp.o"
+  "CMakeFiles/fv_workloads.dir/PaperLoops.cpp.o.d"
+  "libfv_workloads.a"
+  "libfv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_parser_test.dir/AsmParserTest.cpp.o"
+  "CMakeFiles/asm_parser_test.dir/AsmParserTest.cpp.o.d"
+  "asm_parser_test"
+  "asm_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_test.dir/EmuTest.cpp.o"
+  "CMakeFiles/emu_test.dir/EmuTest.cpp.o.d"
+  "emu_test"
+  "emu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/IrInterpTest.cpp" "tests/CMakeFiles/ir_interp_test.dir/IrInterpTest.cpp.o" "gcc" "tests/CMakeFiles/ir_interp_test.dir/IrInterpTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/fv_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/fv_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/fv_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/fv_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtm/CMakeFiles/fv_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fv_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

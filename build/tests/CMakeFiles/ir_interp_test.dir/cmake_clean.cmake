@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_interp_test.dir/IrInterpTest.cpp.o"
+  "CMakeFiles/ir_interp_test.dir/IrInterpTest.cpp.o.d"
+  "ir_interp_test"
+  "ir_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_semantics_test.dir/IsaSemanticsTest.cpp.o"
+  "CMakeFiles/isa_semantics_test.dir/IsaSemanticsTest.cpp.o.d"
+  "isa_semantics_test"
+  "isa_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

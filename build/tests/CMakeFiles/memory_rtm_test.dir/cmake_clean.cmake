@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_rtm_test.dir/MemoryRtmTest.cpp.o"
+  "CMakeFiles/memory_rtm_test.dir/MemoryRtmTest.cpp.o.d"
+  "memory_rtm_test"
+  "memory_rtm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_rtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_combo_test.dir/PatternComboTest.cpp.o"
+  "CMakeFiles/pattern_combo_test.dir/PatternComboTest.cpp.o.d"
+  "pattern_combo_test"
+  "pattern_combo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_combo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdg_analysis_test.dir/PdgAnalysisTest.cpp.o"
+  "CMakeFiles/pdg_analysis_test.dir/PdgAnalysisTest.cpp.o.d"
+  "pdg_analysis_test"
+  "pdg_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdg_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

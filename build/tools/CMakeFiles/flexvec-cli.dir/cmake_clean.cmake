@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvec-cli.dir/flexvec-cli.cpp.o"
+  "CMakeFiles/flexvec-cli.dir/flexvec-cli.cpp.o.d"
+  "flexvec-cli"
+  "flexvec-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvec-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
