@@ -121,14 +121,24 @@ codegen::generateTraditional(const LoopFunction &F,
 
 std::optional<CompiledLoop>
 codegen::generateFlexVec(const LoopFunction &F,
-                         const VectorizationPlan &Plan) {
-  if (!Plan.Vectorizable)
+                         const VectorizationPlan &Plan,
+                         std::string *WhyNot) {
+  if (!Plan.Vectorizable) {
+    if (WhyNot)
+      *WhyNot = "loop is not vectorizable: " + Plan.Reason;
     return std::nullopt;
+  }
 
   bool HasSpec = !Plan.SpeculativeLoadNodes.empty();
-  if (HasSpec && !Plan.Reductions.empty())
-    fatalError("reductions combined with speculative loads are unsupported "
-               "(the scalar fallback cannot undo optimistic accumulation)");
+  if (HasSpec && !Plan.Reductions.empty()) {
+    // Declining is recoverable — the pipeline still has the scalar and
+    // RTM variants; a process abort here would take the whole driver down.
+    if (WhyNot)
+      *WhyNot = "reductions combined with speculative loads are "
+                "unsupported (the scalar fallback cannot undo optimistic "
+                "accumulation)";
+    return std::nullopt;
+  }
 
   CompiledLoop Out;
   Out.Kind = CodeGenKind::FlexVec;

@@ -39,9 +39,12 @@ std::optional<CompiledLoop>
 generateSpeculative(const ir::LoopFunction &F,
                     const analysis::VectorizationPlan &Plan);
 
+/// \p WhyNot, when non-null, receives a diagnostic when the generator
+/// declines the loop (instead of the historical process-fatal error).
 std::optional<CompiledLoop>
 generateFlexVec(const ir::LoopFunction &F,
-                const analysis::VectorizationPlan &Plan);
+                const analysis::VectorizationPlan &Plan,
+                std::string *WhyNot = nullptr);
 
 std::optional<CompiledLoop>
 generateFlexVecRtm(const ir::LoopFunction &F,

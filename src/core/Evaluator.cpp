@@ -24,11 +24,8 @@ RunOutcome core::runProgram(const codegen::CompiledLoop &CL,
   Limits.MaxInstructions = MaxInstructions;
   Out.Exec = Machine.run(CL.Prog, Limits, Sink);
   Out.Ok = Out.Exec.Reason == emu::StopReason::Halted;
-  if (!Out.Ok) {
-    Out.Error = Out.Exec.Reason == emu::StopReason::Fault
-                    ? "memory fault at " + std::to_string(Out.Exec.FaultAddr)
-                    : "instruction limit exceeded";
-  }
+  if (!Out.Ok)
+    Out.Error = Out.Exec.describe();
   Out.MemFingerprint = M.fingerprint();
   for (size_t S = 0; S < B.ScalarValues.size(); ++S)
     Out.LiveOuts.push_back(Machine.getScalar(
@@ -95,7 +92,7 @@ RunOutcome core::runProgramMulti(const LoopFunction &F,
       Out.Exec.Stats.OpcodeCounts[I] += R.Stats.OpcodeCounts[I];
     if (R.Reason != emu::StopReason::Halted) {
       Out.Ok = false;
-      Out.Error = "invocation failed";
+      Out.Error = "invocation failed: " + R.describe();
       break;
     }
     Out.LiveOuts.clear();

@@ -1,0 +1,109 @@
+//===- core/FaultHarness.cpp ----------------------------------------------===//
+
+#include "core/FaultHarness.h"
+
+#include "codegen/Compiled.h"
+
+using namespace flexvec;
+using namespace flexvec::core;
+
+namespace {
+
+void bindMachine(emu::Machine &Machine, const ir::Bindings &B) {
+  for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+    Machine.setScalar(codegen::scalarParamReg(static_cast<int>(S)).Index,
+                      B.ScalarValues[S]);
+  for (size_t A = 0; A < B.ArrayBases.size(); ++A)
+    Machine.setScalar(codegen::arrayBaseReg(static_cast<int>(A)).Index,
+                      static_cast<int64_t>(B.ArrayBases[A]));
+}
+
+} // namespace
+
+std::string FaultedRun::report() const {
+  std::string S = Outcome.Exec.describe();
+  S += "; injected mem=" + std::to_string(Injection.MemFaultsInjected) +
+       " tx=" + std::to_string(Injection.TxAbortsInjected);
+  return S;
+}
+
+FaultedRun core::runProgramWithFaults(const codegen::CompiledLoop &CL,
+                                      const mem::Memory &BaseImage,
+                                      const ir::Bindings &B,
+                                      const FaultPlan &Plan) {
+  FaultedRun Run;
+  mem::Memory M = BaseImage.clone();
+  emu::Machine Machine(M);
+  bindMachine(Machine, B);
+
+  faults::FaultInjector Injector(Plan.Mem, Plan.Tx);
+  Injector.arm(M, &Machine.tx());
+
+  emu::RunLimits Limits;
+  Limits.MaxInstructions = Plan.MaxInstructions;
+  Limits.MaxRtmRetries = Plan.MaxRtmRetries;
+  Run.Outcome.Exec = Machine.run(CL.Prog, Limits);
+  Run.Outcome.Ok = Run.Outcome.Exec.Reason == emu::StopReason::Halted;
+  if (!Run.Outcome.Ok)
+    Run.Outcome.Error = Run.Outcome.Exec.describe();
+  Injector.disarm();
+
+  Run.Outcome.MemFingerprint = M.fingerprint();
+  for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+    Run.Outcome.LiveOuts.push_back(Machine.getScalar(
+        codegen::scalarParamReg(static_cast<int>(S)).Index));
+  Run.Injection = Injector.stats();
+  Run.Tx = Machine.txStats();
+  return Run;
+}
+
+DiffVerdict core::runDifferential(const ir::LoopFunction &F,
+                                  const codegen::CompiledLoop &ScalarCL,
+                                  const codegen::CompiledLoop &VectorCL,
+                                  const mem::Memory &BaseImage,
+                                  const ir::Bindings &B,
+                                  const FaultPlan &Plan) {
+  DiffVerdict V;
+  V.Scalar = runProgramWithFaults(ScalarCL, BaseImage, B, Plan);
+  V.Vector = runProgramWithFaults(VectorCL, BaseImage, B, Plan);
+
+  const RunOutcome &A = V.Scalar.Outcome;
+  const RunOutcome &C = V.Vector.Outcome;
+  if (A.Ok && C.Ok) {
+    if (outcomesMatch(F, A, C)) {
+      V.Equivalent = true;
+      V.Detail = "both completed; memory fingerprints and live-outs match";
+    } else {
+      V.Detail = "both completed but diverged: scalar mem=" +
+                 std::to_string(A.MemFingerprint) +
+                 " vector mem=" + std::to_string(C.MemFingerprint);
+    }
+    return V;
+  }
+  if (!A.Ok && !C.Ok) {
+    if (A.Exec.Reason == C.Exec.Reason &&
+        A.Exec.FaultAddr == C.Exec.FaultAddr) {
+      V.Equivalent = true;
+      V.Detail = std::string("both stopped with the same fault report: ") +
+                 emu::stopReasonName(A.Exec.Reason) + " at addr " +
+                 std::to_string(A.Exec.FaultAddr);
+    } else {
+      V.Detail = "fault reports differ: scalar{" + A.Exec.describe() +
+                 "} vector{" + C.Exec.describe() + "}";
+    }
+    return V;
+  }
+  std::string ScalarDesc = A.Ok ? "completed" : A.Exec.describe();
+  std::string VectorDesc = C.Ok ? "completed" : C.Exec.describe();
+  V.Detail = "only one execution survived: scalar " + ScalarDesc +
+             ", vector " + VectorDesc;
+  return V;
+}
+
+std::string DiffVerdict::describe() const {
+  std::string S = Equivalent ? "EQUIVALENT: " : "DIVERGED: ";
+  S += Detail;
+  S += "\n  scalar: " + Scalar.report();
+  S += "\n  vector: " + Vector.report();
+  return S;
+}

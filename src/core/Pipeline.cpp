@@ -18,7 +18,10 @@ PipelineResult core::compileLoop(const ir::LoopFunction &F,
   R.Scalar = codegen::generateScalar(F);
   R.Traditional = codegen::generateTraditional(F, R.Plan);
   R.Speculative = codegen::generateSpeculative(F, R.Plan);
-  R.FlexVec = codegen::generateFlexVec(F, R.Plan);
+  std::string WhyNot;
+  R.FlexVec = codegen::generateFlexVec(F, R.Plan, &WhyNot);
+  if (!R.FlexVec && !WhyNot.empty())
+    R.Diagnostics.push_back("flexvec: " + WhyNot);
   R.Rtm = codegen::generateFlexVecRtm(F, R.Plan, RtmTile);
   if (R.FlexVec) {
     codegen::CompiledLoop Opt = *R.FlexVec;

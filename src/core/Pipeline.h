@@ -17,6 +17,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace flexvec {
 namespace core {
@@ -36,6 +37,9 @@ struct PipelineResult {
   std::optional<codegen::CompiledLoop> FlexVecOpt;
   codegen::PeepholeStats OptStats;
   std::string PdgDump;
+  /// Structured diagnostics from generators that declined the loop
+  /// (recoverable conditions that previously aborted the process).
+  std::vector<std::string> Diagnostics;
 
   /// The program the baseline (ICC/AVX-512 -fast) would execute: the
   /// traditional vector code when legal, otherwise scalar.

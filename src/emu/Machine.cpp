@@ -15,6 +15,41 @@ using namespace flexvec::isa;
 
 TraceSink::~TraceSink() = default;
 
+const char *emu::stopReasonName(StopReason R) {
+  switch (R) {
+  case StopReason::Halted:
+    return "halted";
+  case StopReason::Fault:
+    return "fault";
+  case StopReason::BudgetExceeded:
+    return "budget-exceeded";
+  }
+  unreachable("unknown stop reason");
+}
+
+std::string ExecResult::describe() const {
+  std::string S = stopReasonName(Reason);
+  if (Reason != StopReason::Halted) {
+    S += " at pc=" + std::to_string(FaultPC) + " (" +
+         isa::opcodeName(FaultOp) + ")";
+    if (Reason == StopReason::Fault || FaultAddr != 0)
+      S += ", fault addr=" + std::to_string(FaultAddr);
+  }
+  if (!AbortHistory.empty()) {
+    S += ", aborts=[";
+    for (size_t I = 0; I < AbortHistory.size(); ++I) {
+      if (I)
+        S += " ";
+      S += rtm::abortReasonName(AbortHistory[I]);
+    }
+    S += "]";
+  }
+  if (Stats.RtmRetries || Stats.RtmFallbacks)
+    S += ", rtm retries=" + std::to_string(Stats.RtmRetries) +
+         " fallbacks=" + std::to_string(Stats.RtmFallbacks);
+  return S;
+}
+
 // --- VecReg lane accessors ----------------------------------------------===//
 
 int64_t VecReg::laneInt(ElemType Ty, unsigned Lane) const {
@@ -289,9 +324,23 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
   std::vector<uint64_t> AddrScratch;
   uint32_t PC = 0;
 
+  // Resilience-policy state for this run.
+  unsigned TxAttempts = 0;   ///< Retries burned at the current XBEGIN site.
+  uint32_t TxBeginPC = 0;    ///< PC of the active transaction's XBEGIN.
+  uint64_t LastFault = 0;    ///< Last fault address observed (any kind).
+  auto recordAbort = [&Result](rtm::AbortReason Why) {
+    if (Result.AbortHistory.size() < ExecResult::MaxAbortHistory)
+      Result.AbortHistory.push_back(Why);
+  };
+
   while (true) {
     if (Stats.Instructions >= Limits.MaxInstructions) {
-      Result.Reason = StopReason::InstrLimit;
+      // Watchdog: a VPL that stopped making forward progress (or a
+      // runaway retry storm) is reported with enough context to debug it.
+      Result.Reason = StopReason::BudgetExceeded;
+      Result.FaultPC = PC;
+      Result.FaultOp = PC < P.size() ? P[PC].Op : isa::Opcode::Nop;
+      Result.FaultAddr = LastFault;
       return Result;
     }
     assert(PC < P.size() && "program counter out of range");
@@ -732,6 +781,7 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
         int64_t Raw = 0;
         mem::AccessResult Res = M.read(Addr, &Raw, ES);
         if (!Res.Ok) {
+          LastFault = Res.FaultAddr;
           if (!SeenNonSpec) {
             // Fault on the non-speculative element: architectural fault.
             Faulted = true;
@@ -828,14 +878,26 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       break;
 
     case Opcode::XBegin:
+      if (Tx.isActive()) {
+        // Nested XBEGIN: architectural abort of the running transaction.
+        // The existing snapshot and abort target stay in place so the
+        // rollback below behaves like any other abort.
+        Tx.begin();
+        TxAborted = true;
+        break;
+      }
       TxSnapshot.R = R;
       TxSnapshot.V = V;
       TxSnapshot.K = K;
       TxAbortTarget = I.Target;
+      TxBeginPC = PC;
       Tx.begin();
       break;
     case Opcode::XEnd:
-      Tx.commit();
+      if (Tx.commit())
+        TxAttempts = 0;
+      else
+        TxAborted = true; // Injected commit-time abort.
       break;
     case Opcode::XAbort:
       Tx.abort(rtm::AbortReason::Explicit);
@@ -843,13 +905,27 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       break;
     }
 
-    // Transaction abort: memory is already rolled back; restore registers
-    // and redirect control to the abort handler.
+    // Transaction abort: memory is already rolled back; restore registers,
+    // then apply the resilience policy — transient aborts re-execute from
+    // XBEGIN (bounded, with exponential backoff) and everything else, or an
+    // exhausted retry budget, dispatches to the abort handler (the
+    // compiled scalar fallback body).
     if (TxAborted) {
       R = TxSnapshot.R;
       V = TxSnapshot.V;
       K = TxSnapshot.K;
-      NextPC = static_cast<uint32_t>(TxAbortTarget);
+      rtm::AbortReason Why = Tx.lastAbortReason();
+      recordAbort(Why);
+      if (rtm::isRetryableAbort(Why) && TxAttempts < Limits.MaxRtmRetries) {
+        ++TxAttempts;
+        ++Stats.RtmRetries;
+        Stats.BackoffCycles += 1ULL << std::min(TxAttempts, 16u);
+        NextPC = TxBeginPC; // Re-execute the XBEGIN.
+      } else {
+        TxAttempts = 0;
+        ++Stats.RtmFallbacks;
+        NextPC = static_cast<uint32_t>(TxAbortTarget);
+      }
       Taken = true;
       TxAborted = false;
     }
@@ -878,6 +954,8 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
     if (Faulted) {
       Result.Reason = StopReason::Fault;
       Result.FaultAddr = FaultAddr;
+      Result.FaultPC = PC;
+      Result.FaultOp = I.Op;
       return Result;
     }
 

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace flexvec {
@@ -61,10 +62,12 @@ public:
 
 /// Why execution stopped.
 enum class StopReason : uint8_t {
-  Halted,        ///< Halt executed (normal completion).
-  Fault,         ///< Unhandled (non-speculative) memory fault.
-  InstrLimit,    ///< Dynamic instruction budget exhausted.
+  Halted,         ///< Halt executed (normal completion).
+  Fault,          ///< Unhandled (non-speculative) memory fault.
+  BudgetExceeded, ///< Instruction-budget watchdog fired (runaway loop).
 };
+
+const char *stopReasonName(StopReason R);
 
 /// Dynamic execution statistics.
 struct ExecStats {
@@ -72,6 +75,9 @@ struct ExecStats {
   uint64_t Branches = 0;
   uint64_t TakenBranches = 0;
   uint64_t MemoryAccesses = 0;
+  uint64_t RtmRetries = 0;   ///< Aborted transactions re-executed in place.
+  uint64_t RtmFallbacks = 0; ///< Aborts dispatched to the abort handler.
+  uint64_t BackoffCycles = 0; ///< Simulated stall cycles between retries.
   std::array<uint64_t, isa::NumOpcodes> OpcodeCounts{};
 
   uint64_t countOf(isa::Opcode Op) const {
@@ -79,16 +85,37 @@ struct ExecStats {
   }
 };
 
-/// Result of Machine::run.
+/// Result of Machine::run. Beyond the stop reason, carries enough
+/// diagnostic context to make a fault report actionable: the faulting (or
+/// watchdog-interrupted) PC and opcode, the last fault address observed,
+/// and the history of transaction aborts seen during the run.
 struct ExecResult {
   StopReason Reason = StopReason::Halted;
-  uint64_t FaultAddr = 0; ///< Valid when Reason == Fault.
+  uint64_t FaultAddr = 0;  ///< Faulting address (Fault), or the last fault
+                           ///< address observed (BudgetExceeded; 0 if none).
+  uint32_t FaultPC = 0;    ///< PC of the faulting/interrupted instruction.
+  isa::Opcode FaultOp = isa::Opcode::Nop; ///< Its opcode.
+  /// Abort reasons in occurrence order (capped at MaxAbortHistory).
+  std::vector<rtm::AbortReason> AbortHistory;
+  static constexpr size_t MaxAbortHistory = 64;
   ExecStats Stats;
+
+  /// Human-readable diagnostic line, e.g. for harness output.
+  std::string describe() const;
 };
 
-/// Execution budget.
+/// Execution budget and resilience policy.
 struct RunLimits {
+  /// Instruction-budget watchdog: stops runaway loops (a Vector
+  /// Partitioning Loop that fails to make forward progress) with
+  /// StopReason::BudgetExceeded plus diagnostics.
   uint64_t MaxInstructions = 1ULL << 32;
+  /// Bounded RTM retry: a transaction aborted for a transient reason
+  /// (conflict/spurious) is re-executed from XBEGIN up to this many times
+  /// with exponential backoff before control dispatches to the abort
+  /// target (the compiled scalar fallback). Deterministic aborts (fault,
+  /// capacity, explicit, nested) dispatch immediately.
+  unsigned MaxRtmRetries = 4;
 };
 
 /// The architectural machine.
@@ -113,6 +140,9 @@ public:
 
   mem::Memory &memory() { return M; }
   const rtm::TxStats &txStats() const { return Tx.stats(); }
+
+  /// The transaction unit, exposed so fault injectors can hook it.
+  rtm::TransactionManager &tx() { return Tx; }
 
   /// Resets registers (memory is untouched).
   void resetRegisters();

@@ -9,7 +9,12 @@
 using namespace flexvec;
 using namespace flexvec::mem;
 
+FaultHook::~FaultHook() = default;
+
 void Memory::checkOk(const AccessResult &R) {
+  // Only reachable through the debug accessors (get/set), which bypass
+  // fault injection: a failure here is a genuinely unmapped address, i.e.
+  // a harness programming error, not a runtime fault to recover from.
   if (!R.Ok)
     fatalError("unexpected memory fault at address " +
                std::to_string(R.FaultAddr));
@@ -64,6 +69,32 @@ bool Memory::isAccessible(uint64_t Addr, uint64_t Size, uint8_t Perms) const {
 }
 
 AccessResult Memory::read(uint64_t Addr, void *Out, uint64_t Size) const {
+  if (Hook) {
+    uint64_t FaultAddr = Addr;
+    if (Hook->shouldFault(Addr, Size, /*IsWrite=*/false, FaultAddr))
+      return AccessResult::fault(FaultAddr);
+  }
+  return doRead(Addr, Out, Size);
+}
+
+AccessResult Memory::write(uint64_t Addr, const void *Data, uint64_t Size) {
+  if (Hook) {
+    uint64_t FaultAddr = Addr;
+    if (Hook->shouldFault(Addr, Size, /*IsWrite=*/true, FaultAddr))
+      return AccessResult::fault(FaultAddr);
+  }
+  return doWrite(Addr, Data, Size);
+}
+
+AccessResult Memory::peek(uint64_t Addr, void *Out, uint64_t Size) const {
+  return doRead(Addr, Out, Size);
+}
+
+AccessResult Memory::poke(uint64_t Addr, const void *Data, uint64_t Size) {
+  return doWrite(Addr, Data, Size);
+}
+
+AccessResult Memory::doRead(uint64_t Addr, void *Out, uint64_t Size) const {
   // Validate the whole range first so faulting reads have no partial effect.
   uint64_t First = Addr / PageSize;
   uint64_t Last = Size ? (Addr + Size - 1) / PageSize : First;
@@ -89,7 +120,7 @@ AccessResult Memory::read(uint64_t Addr, void *Out, uint64_t Size) const {
   return AccessResult::success();
 }
 
-AccessResult Memory::write(uint64_t Addr, const void *Data, uint64_t Size) {
+AccessResult Memory::doWrite(uint64_t Addr, const void *Data, uint64_t Size) {
   uint64_t First = Addr / PageSize;
   uint64_t Last = Size ? (Addr + Size - 1) / PageSize : First;
   for (uint64_t P = First; P <= Last; ++P) {

@@ -40,6 +40,22 @@ struct AccessResult {
   static AccessResult fault(uint64_t Addr) { return {false, Addr}; }
 };
 
+/// Policy interface consulted on every *architectural* access (read/write
+/// and the typed helpers built on them). A hook can force an access to
+/// fault even though the underlying pages are mapped, which is how the
+/// fault-injection subsystem (faults/FaultInjector.h) models transient and
+/// persistent memory errors. Debug accesses (peek/poke, get/set) bypass
+/// the hook so harnesses can always inspect and rebuild state.
+class FaultHook {
+public:
+  virtual ~FaultHook();
+
+  /// Returns true to inject a fault into the access of [Addr, Addr+Size).
+  /// On injection \p FaultAddr must be set to the reported fault address.
+  virtual bool shouldFault(uint64_t Addr, uint64_t Size, bool IsWrite,
+                           uint64_t &FaultAddr) = 0;
+};
+
 /// The sparse paged address space.
 class Memory {
 public:
@@ -66,6 +82,18 @@ public:
   /// Writes \p Size bytes. On fault nothing is modified.
   AccessResult write(uint64_t Addr, const void *Data, uint64_t Size);
 
+  /// Debug accessors: identical to read()/write() except that they never
+  /// consult the fault hook. Used by test harnesses, image construction,
+  /// and the RTM undo-log rollback, all of which must keep working while
+  /// fault injection is armed.
+  AccessResult peek(uint64_t Addr, void *Out, uint64_t Size) const;
+  AccessResult poke(uint64_t Addr, const void *Data, uint64_t Size);
+
+  /// Installs (or clears, with nullptr) the fault-injection hook. The hook
+  /// is not owned and must outlive the Memory; clone() does not copy it.
+  void setFaultHook(FaultHook *H) { Hook = H; }
+  FaultHook *faultHook() const { return Hook; }
+
   /// Typed helpers; fault behaviour as read()/write().
   template <typename T> AccessResult readValue(uint64_t Addr, T &Out) const {
     return read(Addr, &Out, sizeof(T));
@@ -74,15 +102,18 @@ public:
     return write(Addr, &Value, sizeof(T));
   }
 
-  /// Convenience accessors for tests/workloads: abort on fault.
+  /// Convenience accessors for tests/workloads. They use the debug path
+  /// (no fault-hook consultation), so an armed fault injector can never
+  /// reach checkOk's process abort: the only way these fail is a genuinely
+  /// unmapped or permission-violating address, which is a harness bug.
   template <typename T> T get(uint64_t Addr) const {
     T V{};
-    AccessResult R = readValue(Addr, V);
+    AccessResult R = peek(Addr, &V, sizeof(T));
     checkOk(R);
     return V;
   }
   template <typename T> void set(uint64_t Addr, T Value) {
-    checkOk(writeValue(Addr, Value));
+    checkOk(poke(Addr, &Value, sizeof(T)));
   }
 
   /// Number of mapped pages.
@@ -109,8 +140,12 @@ private:
   const Page *findPage(uint64_t PageIdx) const;
   Page *findPage(uint64_t PageIdx);
 
+  AccessResult doRead(uint64_t Addr, void *Out, uint64_t Size) const;
+  AccessResult doWrite(uint64_t Addr, const void *Data, uint64_t Size);
+
   // std::map keeps iteration deterministic for fingerprint/compare.
   std::map<uint64_t, std::unique_ptr<Page>> Pages;
+  FaultHook *Hook = nullptr;
 };
 
 /// Monotonic allocator handing out disjoint regions of a Memory, used to
@@ -125,10 +160,12 @@ public:
   uint64_t alloc(uint64_t Size, uint64_t Align = 64);
 
   /// Allocates and copies \p Values into memory; returns the base address.
+  /// Uses the debug write path so image construction is unaffected by an
+  /// armed fault injector.
   template <typename T> uint64_t allocArray(const std::vector<T> &Values) {
     uint64_t Addr = alloc(Values.size() * sizeof(T), 64);
     if (!Values.empty())
-      M.write(Addr, Values.data(), Values.size() * sizeof(T));
+      M.poke(Addr, Values.data(), Values.size() * sizeof(T));
     return Addr;
   }
 

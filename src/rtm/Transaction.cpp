@@ -13,6 +13,8 @@ namespace {
 constexpr uint64_t LineBytes = 64;
 } // namespace
 
+TxFaultHook::~TxFaultHook() = default;
+
 const char *rtm::abortReasonName(AbortReason R) {
   switch (R) {
   case AbortReason::None:
@@ -23,36 +25,61 @@ const char *rtm::abortReasonName(AbortReason R) {
     return "fault";
   case AbortReason::Capacity:
     return "capacity";
+  case AbortReason::Conflict:
+    return "conflict";
+  case AbortReason::Spurious:
+    return "spurious";
+  case AbortReason::Nested:
+    return "nested";
   }
   unreachable("unknown abort reason");
 }
 
-void TransactionManager::begin() {
-  if (Active)
-    fatalError("nested transactions are not supported");
+bool TransactionManager::begin() {
+  if (Active) {
+    // A nested XBEGIN is an architectural abort of the running
+    // transaction (Intel RTM aborts on unsupported nesting depth), not a
+    // process-fatal condition: roll back and let the machine redirect to
+    // the abort handler.
+    abort(AbortReason::Nested);
+    return false;
+  }
   Active = true;
   UndoLog.clear();
   ReadSetLines.clear();
   WriteSetLines.clear();
   ++Stats.Begins;
+  return true;
 }
 
-void TransactionManager::commit() {
+bool TransactionManager::commit() {
   assert(Active && "commit outside a transaction");
+  if (Hook) {
+    AbortReason Injected = Hook->injectAbort(/*AtCommit=*/true);
+    if (Injected != AbortReason::None) {
+      ++Stats.InjectedAborts;
+      abort(Injected);
+      return false;
+    }
+  }
   Active = false;
   UndoLog.clear();
   ReadSetLines.clear();
   WriteSetLines.clear();
   ++Stats.Commits;
+  return true;
 }
 
 void TransactionManager::abort(AbortReason Reason) {
   assert(Active && "abort outside a transaction");
   assert(Reason != AbortReason::None && "abort requires a reason");
-  // Undo tentative writes in reverse order.
+  // Undo tentative writes in reverse order. The rollback uses the debug
+  // write path: undo targets were mapped and writable when logged, and an
+  // armed fault injector must not be able to corrupt a rollback (real
+  // hardware discards the speculative cache lines unconditionally).
   for (auto It = UndoLog.rbegin(); It != UndoLog.rend(); ++It) {
-    mem::AccessResult R = M.write(It->Addr, It->OldBytes.data(),
-                                  It->OldBytes.size());
+    mem::AccessResult R = M.poke(It->Addr, It->OldBytes.data(),
+                                 It->OldBytes.size());
     if (!R.Ok)
       fatalError("rollback write faulted; undo log is corrupt");
   }
@@ -61,6 +88,7 @@ void TransactionManager::abort(AbortReason Reason) {
   ReadSetLines.clear();
   WriteSetLines.clear();
   ++Stats.Aborts;
+  LastAbort = Reason;
   switch (Reason) {
   case AbortReason::Explicit:
     ++Stats.AbortsExplicit;
@@ -70,6 +98,15 @@ void TransactionManager::abort(AbortReason Reason) {
     break;
   case AbortReason::Capacity:
     ++Stats.AbortsByCapacity;
+    break;
+  case AbortReason::Conflict:
+    ++Stats.AbortsByConflict;
+    break;
+  case AbortReason::Spurious:
+    ++Stats.AbortsSpurious;
+    break;
+  case AbortReason::Nested:
+    ++Stats.AbortsNested;
     break;
   case AbortReason::None:
     break;
@@ -93,6 +130,15 @@ bool TransactionManager::trackFootprint(uint64_t Addr, uint64_t Size,
 bool TransactionManager::read(uint64_t Addr, void *Out, uint64_t Size,
                               AbortReason &Reason) {
   Reason = AbortReason::None;
+  if (Active && Hook) {
+    AbortReason Injected = Hook->injectAbort(/*AtCommit=*/false);
+    if (Injected != AbortReason::None) {
+      ++Stats.InjectedAborts;
+      Reason = Injected;
+      abort(Reason);
+      return false;
+    }
+  }
   mem::AccessResult R = M.read(Addr, Out, Size);
   if (!Active)
     return R.Ok; // Non-transactional: fault surfaces to the machine.
@@ -115,6 +161,15 @@ bool TransactionManager::write(uint64_t Addr, const void *Data, uint64_t Size,
   if (!Active) {
     mem::AccessResult R = M.write(Addr, Data, Size);
     return R.Ok;
+  }
+  if (Hook) {
+    AbortReason Injected = Hook->injectAbort(/*AtCommit=*/false);
+    if (Injected != AbortReason::None) {
+      ++Stats.InjectedAborts;
+      Reason = Injected;
+      abort(Reason);
+      return false;
+    }
   }
   // Log old contents before modifying; a failed read of the old contents is
   // a fault on the write address range.

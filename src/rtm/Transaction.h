@@ -29,9 +29,32 @@ enum class AbortReason : uint8_t {
   Explicit, ///< XABORT executed.
   Fault,    ///< A memory access inside the transaction faulted.
   Capacity, ///< Read- or write-set exceeded the hardware buffers.
+  Conflict, ///< Another core touched the read/write set (injected).
+  Spurious, ///< Interrupt/TLB-shootdown style abort (injected).
+  Nested,   ///< XBEGIN executed while a transaction was already active.
 };
 
 const char *abortReasonName(AbortReason R);
+
+/// True for abort causes that can succeed on re-execution (the bounded
+/// retry policy in emu::Machine only retries these). Faults and capacity
+/// overflows are deterministic, explicit aborts are intentional, and a
+/// nested XBEGIN is a structural bug in the generated code.
+inline bool isRetryableAbort(AbortReason R) {
+  return R == AbortReason::Conflict || R == AbortReason::Spurious;
+}
+
+/// Policy interface for injecting transaction aborts (conflict, capacity,
+/// spurious) at deterministic points: before each transactional access and
+/// at commit. Returning AbortReason::None injects nothing.
+class TxFaultHook {
+public:
+  virtual ~TxFaultHook();
+
+  /// \p AtCommit is true when consulted from commit(), false when
+  /// consulted before a transactional read or write.
+  virtual AbortReason injectAbort(bool AtCommit) = 0;
+};
 
 /// Hardware capacity limits. Defaults approximate Haswell RTM: the write
 /// set is bounded by the L1D (32 KiB) and the read set by the L2 footprint
@@ -49,6 +72,10 @@ struct TxStats {
   uint64_t AbortsByFault = 0;
   uint64_t AbortsByCapacity = 0;
   uint64_t AbortsExplicit = 0;
+  uint64_t AbortsByConflict = 0;
+  uint64_t AbortsSpurious = 0;
+  uint64_t AbortsNested = 0;
+  uint64_t InjectedAborts = 0;
   uint64_t BytesLogged = 0;
 };
 
@@ -61,11 +88,22 @@ public:
   bool isActive() const { return Active; }
   const TxStats &stats() const { return Stats; }
 
-  /// Starts a transaction. Nested transactions are not supported.
-  void begin();
+  /// Reason of the most recent abort (sticky until the next abort).
+  AbortReason lastAbortReason() const { return LastAbort; }
 
-  /// Commits: tentative writes become permanent, the undo log is discarded.
-  void commit();
+  /// Installs (or clears) the abort-injection hook; not owned.
+  void setFaultHook(TxFaultHook *H) { Hook = H; }
+
+  /// Starts a transaction. Nesting is an architectural abort, not an
+  /// error: a begin() while active aborts the running transaction with
+  /// AbortReason::Nested and returns false, leaving the caller to branch
+  /// to the abort handler. Returns true when a transaction started.
+  bool begin();
+
+  /// Commits: tentative writes become permanent, the undo log is
+  /// discarded. An injected commit-time abort rolls back instead and
+  /// returns false (reason via lastAbortReason()).
+  bool commit();
 
   /// Aborts: tentative writes are undone in reverse order.
   void abort(AbortReason Reason);
@@ -95,6 +133,8 @@ private:
   std::unordered_set<uint64_t> ReadSetLines;
   std::unordered_set<uint64_t> WriteSetLines;
   TxStats Stats;
+  TxFaultHook *Hook = nullptr;
+  AbortReason LastAbort = AbortReason::None;
 };
 
 } // namespace rtm

@@ -104,7 +104,7 @@ TEST_F(EmuTest, UnhandledFaultStopsExecution) {
   EXPECT_EQ(R.FaultAddr, 0x50000u);
 }
 
-TEST_F(EmuTest, InstructionLimitStopsRunawayLoops) {
+TEST_F(EmuTest, BudgetWatchdogStopsRunawayLoops) {
   ProgramBuilder B;
   auto L = B.createLabel();
   B.bind(L);
@@ -113,8 +113,11 @@ TEST_F(EmuTest, InstructionLimitStopsRunawayLoops) {
   RunLimits Limits;
   Limits.MaxInstructions = 1000;
   ExecResult R = Mach.run(P, Limits);
-  EXPECT_EQ(R.Reason, StopReason::InstrLimit);
+  EXPECT_EQ(R.Reason, StopReason::BudgetExceeded);
   EXPECT_EQ(R.Stats.Instructions, 1000u);
+  // The watchdog reports where the runaway loop was spinning.
+  EXPECT_EQ(R.FaultPC, 0u);
+  EXPECT_EQ(R.FaultOp, Opcode::Jmp);
 }
 
 TEST_F(EmuTest, VectorIndexCompareAndReduce) {
@@ -168,6 +171,76 @@ TEST_F(EmuTest, GatherWithScaleAndDisp) {
   for (unsigned L = 0; L < 16; ++L)
     EXPECT_EQ(Mach.getVector(2).laneInt(ElemType::I32, L),
               1000 + 2 + static_cast<int>(L) + 2);
+}
+
+TEST_F(EmuTest, FirstFaultingLoadClipsMaskAtGuardPage) {
+  // One page of data followed by the BumpAllocator's unmapped guard page.
+  mem::BumpAllocator Alloc(M);
+  std::vector<int32_t> Data(1024);
+  for (int I = 0; I < 1024; ++I)
+    Data[I] = I;
+  uint64_t Base = Alloc.allocArray(Data);
+  // Start 8 elements before the guard page: lanes 0..7 are mapped, lane 8
+  // lands exactly on the guard page.
+  uint64_t Start = Base + 1024 * 4 - 8 * 4;
+  ProgramBuilder B;
+  B.movImm(Reg::scalar(1), static_cast<int64_t>(Start));
+  B.kset(Reg::mask(1), 0xFFFF);
+  B.vmovff(Reg::vector(1), ElemType::I32, Reg::mask(1), Reg::scalar(1),
+           Reg::none(), 1, 0);
+  B.halt();
+  ExecResult R = run(B);
+  ASSERT_EQ(R.Reason, StopReason::Halted)
+      << "a speculative-lane fault must not surface architecturally";
+  EXPECT_EQ(Mach.getMask(1), 0xFFu)
+      << "write mask clipped from the faulting lane rightward";
+  for (unsigned L = 0; L < 8; ++L)
+    EXPECT_EQ(Mach.getVector(1).laneInt(ElemType::I32, L),
+              1016 + static_cast<int>(L));
+}
+
+TEST_F(EmuTest, FirstFaultingGatherClipsMaskAtGuardPage) {
+  mem::BumpAllocator Alloc(M);
+  std::vector<int32_t> Tab(1024);
+  for (int I = 0; I < 1024; ++I)
+    Tab[I] = 2 * I;
+  uint64_t Base = Alloc.allocArray(Tab);
+  ProgramBuilder B;
+  B.movImm(Reg::scalar(1), static_cast<int64_t>(Base));
+  B.movImm(Reg::scalar(2), 1020); // Indices 1020..1035 run off the table.
+  B.vindex(Reg::vector(1), ElemType::I32, Reg::scalar(2));
+  B.kset(Reg::mask(1), 0xFFFF);
+  B.vgatherff(Reg::vector(2), ElemType::I32, Reg::mask(1), Reg::scalar(1),
+              Reg::vector(1), 4, 0);
+  B.halt();
+  ExecResult R = run(B);
+  ASSERT_EQ(R.Reason, StopReason::Halted);
+  EXPECT_EQ(Mach.getMask(1), 0xFu)
+      << "only the in-bounds indices 1020..1023 survive";
+  for (unsigned L = 0; L < 4; ++L)
+    EXPECT_EQ(Mach.getVector(2).laneInt(ElemType::I32, L),
+              2 * (1020 + static_cast<int>(L)));
+}
+
+TEST_F(EmuTest, FirstFaultingLeftmostLaneFaultsArchitecturally) {
+  // The leftmost *enabled* lane is non-speculative (paper Section 3.3.1):
+  // lanes 0..7 are disabled, lane 8 points into the guard page, so the
+  // fault is architectural even though earlier addresses are mapped.
+  mem::BumpAllocator Alloc(M);
+  std::vector<int32_t> Data(1024, 5);
+  uint64_t Base = Alloc.allocArray(Data);
+  uint64_t Start = Base + 1024 * 4 - 8 * 4;
+  ProgramBuilder B;
+  B.movImm(Reg::scalar(1), static_cast<int64_t>(Start));
+  B.kset(Reg::mask(1), 0xFF00); // Leftmost enabled lane is lane 8.
+  B.vmovff(Reg::vector(1), ElemType::I32, Reg::mask(1), Reg::scalar(1),
+           Reg::none(), 1, 0);
+  B.halt();
+  ExecResult R = run(B);
+  EXPECT_EQ(R.Reason, StopReason::Fault);
+  EXPECT_EQ(R.FaultAddr, Start + 8 * 4);
+  EXPECT_EQ(R.FaultPC, 2u);
+  EXPECT_EQ(R.FaultOp, Opcode::VMovFF);
 }
 
 TEST_F(EmuTest, RtmAbortRestoresRegistersAndMemory) {

@@ -14,11 +14,28 @@
 //     --arraysize=N       elements per array for --run (default 65536)
 //     --set NAME=V        initial value for scalar NAME (repeatable)
 //
+//   Fault injection (see docs/FAULTS.md):
+//     --fault-diff        run scalar vs. FlexVec under the same injected
+//                         fault schedule and report equivalence
+//     --fault-seed=N      seed for the injection policies (default 1)
+//     --fault-nth=N       fail the Nth architectural memory access
+//     --fault-range=LO:HI:PROB[:transient|persistent]
+//                         poison cache lines in [LO,HI) with probability
+//                         PROB (repeatable)
+//     --tx-abort-nth=N    abort the Nth transactional operation
+//     --tx-abort-prob=P   abort each transactional op with probability P
+//     --tx-abort-reason=conflict|capacity|spurious  (default conflict)
+//     --rtm-retries=N     bounded RTM retry budget (default 4)
+//     --budget=N          instruction-budget watchdog (default 2^32)
+//
 // Example:
 //   ./build/tools/flexvec-cli examples/loops/argmin.fv --run --trip=50000
+//   ./build/tools/flexvec-cli examples/loops/find_first.fv --fault-diff
+//       --fault-range=0x10000:0x20000:0.001
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/FaultHarness.h"
 #include "core/Measure.h"
 #include "core/Pipeline.h"
 #include "ir/Parser.h"
@@ -40,10 +57,12 @@ struct CliOptions {
   bool DumpPdg = false;
   bool DumpAll = false;
   bool Run = false;
+  bool FaultDiff = false;
   int64_t Trip = 10000;
   uint64_t Seed = 1;
   int64_t ArraySize = 65536;
   std::map<std::string, double> Sets;
+  core::FaultPlan Faults;
 };
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -61,6 +80,48 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
     } else if (Arg.rfind("--arraysize=", 0) == 0) {
       Opts.ArraySize = std::atoll(Arg.c_str() + 12);
+    } else if (Arg == "--fault-diff") {
+      Opts.FaultDiff = true;
+    } else if (Arg.rfind("--fault-seed=", 0) == 0) {
+      uint64_t S = static_cast<uint64_t>(std::atoll(Arg.c_str() + 13));
+      Opts.Faults.Mem.Seed = S;
+      Opts.Faults.Tx.Seed = S;
+    } else if (Arg.rfind("--fault-nth=", 0) == 0) {
+      Opts.Faults.Mem.FailNthAccess =
+          static_cast<uint64_t>(std::atoll(Arg.c_str() + 12));
+    } else if (Arg.rfind("--fault-range=", 0) == 0) {
+      faults::RangeFault R;
+      std::string Error;
+      if (!faults::parseRangeFault(Arg.substr(14), R, Error)) {
+        std::fprintf(stderr, "error: --fault-range: %s\n", Error.c_str());
+        return false;
+      }
+      Opts.Faults.Mem.Ranges.push_back(R);
+    } else if (Arg.rfind("--tx-abort-nth=", 0) == 0) {
+      Opts.Faults.Tx.AbortNthOp =
+          static_cast<uint64_t>(std::atoll(Arg.c_str() + 15));
+    } else if (Arg.rfind("--tx-abort-prob=", 0) == 0) {
+      Opts.Faults.Tx.AbortProb = std::atof(Arg.c_str() + 16);
+    } else if (Arg.rfind("--tx-abort-reason=", 0) == 0) {
+      std::string Reason = Arg.substr(18);
+      if (Reason == "conflict")
+        Opts.Faults.Tx.Reason = rtm::AbortReason::Conflict;
+      else if (Reason == "capacity")
+        Opts.Faults.Tx.Reason = rtm::AbortReason::Capacity;
+      else if (Reason == "spurious")
+        Opts.Faults.Tx.Reason = rtm::AbortReason::Spurious;
+      else {
+        std::fprintf(stderr,
+                     "error: --tx-abort-reason must be conflict, capacity, "
+                     "or spurious\n");
+        return false;
+      }
+    } else if (Arg.rfind("--rtm-retries=", 0) == 0) {
+      Opts.Faults.MaxRtmRetries =
+          static_cast<unsigned>(std::atoll(Arg.c_str() + 14));
+    } else if (Arg.rfind("--budget=", 0) == 0) {
+      Opts.Faults.MaxInstructions =
+          static_cast<uint64_t>(std::atoll(Arg.c_str() + 9));
     } else if (Arg == "--set" && A + 1 < Argc) {
       std::string KV = Argv[++A];
       size_t Eq = KV.find('=');
@@ -80,7 +141,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     std::fprintf(stderr,
                  "usage: flexvec-cli LOOP.fv [--dump-pdg] [--dump-all] "
                  "[--run] [--trip=N] [--seed=N] [--arraysize=N] "
-                 "[--set NAME=V]\n");
+                 "[--set NAME=V] [--fault-diff] [--fault-seed=N] "
+                 "[--fault-nth=N] [--fault-range=LO:HI:PROB[:DUR]] "
+                 "[--tx-abort-nth=N] [--tx-abort-prob=P] "
+                 "[--tx-abort-reason=R] [--rtm-retries=N] [--budget=N]\n");
     return false;
   }
   return true;
@@ -96,12 +160,17 @@ void dumpVariant(const char *Name,
               CL->Prog.disassemble().c_str());
 }
 
-int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
-            const CliOptions &Opts) {
-  Rng R(Opts.Seed);
+struct CliInputs {
   mem::Memory Image;
+  ir::Bindings B;
+};
+
+CliInputs buildInputs(const ir::LoopFunction &F, const CliOptions &Opts) {
+  Rng R(Opts.Seed);
+  CliInputs In{mem::Memory(), ir::Bindings::forFunction(F)};
+  mem::Memory &Image = In.Image;
   mem::BumpAllocator Alloc(Image);
-  ir::Bindings B = ir::Bindings::forFunction(F);
+  ir::Bindings &B = In.B;
 
   for (size_t A = 0; A < F.arrays().size(); ++A) {
     const ir::ArrayParam &P = F.array(static_cast<int>(A));
@@ -139,6 +208,14 @@ int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
     else
       B.setInt(static_cast<int>(S), static_cast<int64_t>(It->second));
   }
+  return In;
+}
+
+int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
+            const CliOptions &Opts) {
+  CliInputs In = buildInputs(F, Opts);
+  mem::Memory &Image = In.Image;
+  ir::Bindings &B = In.B;
 
   core::RunOutcome Ref = core::runReference(F, Image, B);
   std::printf("== Run (trip=%lld, seed=%llu) ==\n",
@@ -171,6 +248,40 @@ int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
   row("flexvec-opt", PR.FlexVecOpt);
   row("flexvec-rtm", PR.Rtm);
   T.print();
+  return 0;
+}
+
+int runFaultDiff(const ir::LoopFunction &F, const core::PipelineResult &PR,
+                 const CliOptions &Opts) {
+  CliInputs In = buildInputs(F, Opts);
+
+  std::printf("== Differential fault-tolerance run ==\n");
+  faults::FaultInjector Preview(Opts.Faults.Mem, Opts.Faults.Tx);
+  std::printf("policy: %s, rtm-retries=%u, budget=%llu\n",
+              Preview.describe().c_str(), Opts.Faults.MaxRtmRetries,
+              static_cast<unsigned long long>(Opts.Faults.MaxInstructions));
+
+  int Divergences = 0;
+  auto diffOne = [&](const char *Name,
+                     const std::optional<codegen::CompiledLoop> &CL) {
+    if (!CL)
+      return;
+    core::DiffVerdict V = core::runDifferential(F, PR.Scalar, *CL, In.Image,
+                                                In.B, Opts.Faults);
+    std::printf("\n[%s] %s\n", Name, V.describe().c_str());
+    if (!V.Equivalent)
+      ++Divergences;
+  };
+  diffOne("flexvec", PR.FlexVec);
+  diffOne("flexvec-opt", PR.FlexVecOpt);
+  diffOne("flexvec-rtm", PR.Rtm);
+
+  if (Divergences) {
+    std::printf("\n%d variant(s) diverged from scalar under faults\n",
+                Divergences);
+    return 1;
+  }
+  std::printf("\nall variants equivalent to scalar under faults\n");
   return 0;
 }
 
@@ -214,6 +325,12 @@ int main(int Argc, char **Argv) {
   } else if (PR.FlexVec) {
     dumpVariant("flexvec", PR.FlexVec);
   }
+
+  for (const std::string &D : PR.Diagnostics)
+    std::printf("note: %s\n", D.c_str());
+
+  if (Opts.FaultDiff)
+    return runFaultDiff(F, PR, Opts);
 
   if (Opts.Run) {
     if (!PR.Plan.Vectorizable)
