@@ -2,99 +2,78 @@
 //
 // Regenerates Figure 8 of the paper: overall application speedup of
 // FlexVec-vectorized code over the AVX-512 baseline on the Table 1 core,
-// for 11 SPEC 2006 C/C++ benchmarks and 7 real applications. For each
-// benchmark the hot loop is simulated for both programs; the hot-region
-// speedup is scaled by the benchmark's published coverage (the paper's
-// rdtsc methodology), and geomeans are reported per group.
+// for 11 SPEC 2006 C/C++ benchmarks and 7 real applications. Runs on the
+// parallel evaluation engine (core::runSweep via workloads::runFigure8Sweep),
+// so --jobs=N fans the matrix out over N workers; the numbers are
+// identical for every N.
 //
-// Expected shape (paper): every benchmark ≥ 1.0x, overall speedups in the
-// ~1.03-1.16x band, SPEC geomean ≈ 1.09x, apps geomean ≈ 1.11x.
+// Expected shape (paper): every benchmark >= 1.0x, overall speedups in the
+// ~1.03-1.16x band, SPEC geomean ~ 1.09x, apps geomean ~ 1.11x.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Measure.h"
-#include "core/Pipeline.h"
-#include "support/Statistics.h"
+#include "support/ArgParse.h"
 #include "support/Table.h"
-#include "workloads/Benchmarks.h"
+#include "workloads/Figure8.h"
 
 #include <cstdio>
-#include <cstring>
+#include <string>
 
 using namespace flexvec;
-using namespace flexvec::workloads;
+using namespace flexvec::core;
 
 int main(int argc, char **argv) {
-  double Scale = 1.0;
-  for (int A = 1; A < argc; ++A)
-    if (std::strncmp(argv[A], "--scale=", 8) == 0)
-      Scale = std::atof(argv[A] + 8);
+  SweepOptions Opts;
+  for (int A = 1; A < argc; ++A) {
+    std::string Arg = argv[A];
+    double D = 0;
+    uint64_t U = 0;
+    if (Arg.rfind("--scale=", 0) == 0 && parseDouble(Arg.substr(8), D) &&
+        D > 0) {
+      Opts.Scale = D;
+    } else if (Arg.rfind("--jobs=", 0) == 0 && parseUInt(Arg.substr(7), U)) {
+      Opts.Jobs = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--seed=", 0) == 0 && parseUInt(Arg.substr(7), U)) {
+      Opts.Seed = U;
+    } else {
+      std::fprintf(stderr, "usage: bench_figure8 [--scale=X] [--jobs=N] "
+                           "[--seed=N]\n");
+      return 2;
+    }
+  }
 
   std::printf("Figure 8: Application Speedup over an Aggressive OOO "
               "Processor (AVX-512 baseline)\n\n");
 
-  std::vector<Benchmark> Benchmarks = buildAllBenchmarks(Scale);
+  SweepResult R = workloads::runFigure8Sweep(Opts);
+
   TextTable T({"benchmark", "group", "coverage", "hot speedup",
                "overall speedup", "paper", "correct"});
-
-  std::vector<double> SpecOverall, AppsOverall;
-  std::vector<double> SpecPaper, AppsPaper;
-
-  for (Benchmark &B : Benchmarks) {
-    core::PipelineResult PR = core::compileLoop(*B.F);
-    if (!PR.Plan.Vectorizable || !PR.Plan.needsFlexVec()) {
-      std::printf("%s: unexpected plan: %s\n", B.Name.c_str(),
-                  PR.Plan.describe(*B.F).c_str());
-      return 1;
-    }
-
-    Rng R(0xF1E8 + std::hash<std::string>{}(B.Name));
-    BenchInstance In = B.Gen(R);
-
-    // Correctness cross-check against the reference interpreter.
-    core::RunOutcome Ref = core::runReferenceMulti(*B.F, In.Image,
-                                                   In.Invocations);
-    core::RunOutcome Flex = core::runProgramMulti(*B.F, *PR.FlexVec,
-                                                  In.Image, In.Invocations);
-    bool Correct = core::outcomesMatch(*B.F, Ref, Flex);
-
-    // Timing: baseline (scalar — the traditional vectorizer rejects these
-    // loops) vs FlexVec, each on a fresh Table 1 core.
-    sim::OooCore BaseCore;
-    core::runProgramMulti(*B.F, PR.baseline(), In.Image, In.Invocations,
-                          &BaseCore);
-    sim::OooCore FlexCore;
-    core::runProgramMulti(*B.F, *PR.FlexVec, In.Image, In.Invocations,
-                          &FlexCore);
-
-    double Hot = static_cast<double>(BaseCore.stats().Cycles) /
-                 static_cast<double>(FlexCore.stats().Cycles);
-    double Overall = core::coverageScaledSpeedup(Hot, B.Coverage);
-
-    T.addRow({B.Name, B.Group, TextTable::fmtPercent(B.Coverage),
-              TextTable::fmt(Hot, 2) + "x", TextTable::fmt(Overall, 3) + "x",
-              TextTable::fmt(B.PaperSpeedup, 2) + "x",
-              Correct ? "yes" : "NO"});
-
-    if (B.Group == "SPEC") {
-      SpecOverall.push_back(Overall);
-      SpecPaper.push_back(B.PaperSpeedup);
-    } else {
-      AppsOverall.push_back(Overall);
-      AppsPaper.push_back(B.PaperSpeedup);
-    }
+  for (const CellResult &Cell : R.Cells) {
+    if (Cell.Variant != "flexvec" || !Cell.Generated)
+      continue;
+    T.addRow({Cell.Benchmark, Cell.Group,
+              TextTable::fmtPercent(Cell.Coverage),
+              TextTable::fmt(Cell.HotSpeedup, 2) + "x",
+              TextTable::fmt(Cell.Overall, 3) + "x",
+              TextTable::fmt(Cell.PaperSpeedup, 2) + "x",
+              Cell.Correct ? "yes" : "NO"});
   }
-
   T.addSeparator();
   T.addRow({"GEOMEAN (SPEC)", "", "", "",
-            TextTable::fmt(geomean(SpecOverall), 3) + "x",
-            TextTable::fmt(geomean(SpecPaper), 2) + "x", ""});
+            TextTable::fmt(R.SpecGeomean, 3) + "x", "1.09x", ""});
   T.addRow({"GEOMEAN (apps)", "", "", "",
-            TextTable::fmt(geomean(AppsOverall), 3) + "x",
-            TextTable::fmt(geomean(AppsPaper), 2) + "x", ""});
+            TextTable::fmt(R.AppsGeomean, 3) + "x", "1.11x", ""});
   T.print();
 
   std::printf("\npaper reference: SPEC geomean 1.09x, apps geomean 1.11x; "
               "range 1.03x (403.gcc) .. 1.16x (473.astar, 444.namd)\n");
+
+  for (const CellResult &Cell : R.Cells)
+    if (Cell.Generated && !Cell.Correct) {
+      std::fprintf(stderr, "error: %s/%s diverged from the reference\n",
+                   Cell.Benchmark.c_str(), Cell.Variant.c_str());
+      return 1;
+    }
   return 0;
 }

@@ -1,0 +1,214 @@
+//===- core/ParallelEvaluator.cpp -----------------------------------------===//
+
+#include "core/ParallelEvaluator.h"
+
+#include "core/Evaluator.h"
+#include "sim/OooCore.h"
+#include "support/Hash.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace flexvec;
+using namespace flexvec::core;
+
+const char *core::variantName(VariantId V) {
+  switch (V) {
+  case VariantId::Scalar:
+    return "scalar";
+  case VariantId::Traditional:
+    return "traditional";
+  case VariantId::Speculative:
+    return "speculative";
+  case VariantId::FlexVec:
+    return "flexvec";
+  case VariantId::Rtm:
+    return "flexvec-rtm";
+  }
+  return "?";
+}
+
+const codegen::CompiledLoop *core::selectVariant(const PipelineResult &PR,
+                                                 VariantId V) {
+  switch (V) {
+  case VariantId::Scalar:
+    return &PR.Scalar;
+  case VariantId::Traditional:
+    return PR.Traditional ? &*PR.Traditional : nullptr;
+  case VariantId::Speculative:
+    return PR.Speculative ? &*PR.Speculative : nullptr;
+  case VariantId::FlexVec:
+    return PR.FlexVec ? &*PR.FlexVec : nullptr;
+  case VariantId::Rtm:
+    return PR.Rtm ? &*PR.Rtm : nullptr;
+  }
+  return nullptr;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// One fan-out job: compile (through the cache), generate this workload's
+/// inputs from its own PRNG stream, run the reference interpreter, then
+/// run the variant through the emulator with the Table 1 timing model
+/// attached. Speedups are filled in after the fan-in, when the scalar
+/// column is available.
+CellResult evalCell(const SweepWorkload &W, VariantId V,
+                    const SweepOptions &Opts, CompileCache &Cache) {
+  CellResult Cell;
+  Cell.Benchmark = W.Name;
+  Cell.Group = W.Group;
+  Cell.Variant = variantName(V);
+  Cell.Coverage = W.Coverage;
+  Cell.PaperSpeedup = W.PaperSpeedup;
+
+  Clock::time_point T0 = Clock::now();
+  std::shared_ptr<const PipelineResult> PR =
+      Cache.getOrCompile(*W.F, Opts.RtmTile);
+  Cell.Times.CompileMs = msSince(T0);
+
+  const codegen::CompiledLoop *CL = selectVariant(*PR, V);
+  if (!CL)
+    return Cell; // Generator declined the loop: empty cell.
+  Cell.Generated = true;
+
+  T0 = Clock::now();
+  Rng R(deriveStreamSeed(Opts.Seed, fnv1a64(W.Name)));
+  WorkloadInstance In = W.Gen(R);
+  Cell.Times.InputsMs = msSince(T0);
+
+  T0 = Clock::now();
+  RunOutcome Ref = runReferenceMulti(*W.F, In.Image, In.Invocations);
+  Cell.Times.EmulateMs = msSince(T0);
+
+  T0 = Clock::now();
+  sim::OooCore Core;
+  RunOutcome Out =
+      runProgramMulti(*W.F, *CL, In.Image, In.Invocations, &Core);
+  Cell.Times.SimulateMs = msSince(T0);
+
+  Cell.Correct = outcomesMatch(*W.F, Ref, Out);
+  sim::SimStats Stats = Core.stats();
+  Cell.Cycles = Stats.Cycles;
+  Cell.Instructions = Stats.Instructions;
+  Cell.Uops = Stats.Uops;
+  return Cell;
+}
+
+} // namespace
+
+SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
+                           const SweepOptions &Opts, CompileCache *Cache) {
+  Clock::time_point Start = Clock::now();
+  CompileCache Local;
+  CompileCache &C = Cache ? *Cache : Local;
+  uint64_t Hits0 = C.hits(), Misses0 = C.misses();
+
+  size_t NumCells = Workloads.size() * NumVariants;
+
+  ThreadPool Pool(Opts.Jobs);
+  SweepResult R;
+  R.Jobs = Opts.Jobs;
+  R.Workers = Pool.workerCount();
+  R.Seed = Opts.Seed;
+  R.Scale = Opts.Scale;
+  R.Trips = std::max(1u, Opts.Trips);
+
+  for (unsigned Trip = 0; Trip < R.Trips; ++Trip) {
+    R.Cells = Pool.map<CellResult>(NumCells, [&](size_t I) {
+      const SweepWorkload &W = Workloads[I / NumVariants];
+      VariantId V = static_cast<VariantId>(I % NumVariants);
+      return evalCell(W, V, Opts, C);
+    });
+  }
+
+  // Ordered fan-in: speedups against the scalar column, then the group
+  // geomeans over the FlexVec column — all reductions walk the cells in
+  // matrix order so the aggregates are independent of worker scheduling.
+  std::vector<double> SpecOverall, AppsOverall;
+  for (size_t W = 0; W < Workloads.size(); ++W) {
+    const CellResult &Scalar = R.Cells[W * NumVariants];
+    for (unsigned V = 0; V < NumVariants; ++V) {
+      CellResult &Cell = R.Cells[W * NumVariants + V];
+      if (!Cell.Generated || !Cell.Cycles || !Scalar.Cycles)
+        continue;
+      Cell.HotSpeedup = static_cast<double>(Scalar.Cycles) /
+                        static_cast<double>(Cell.Cycles);
+      Cell.Overall = coverageScaledSpeedup(Cell.HotSpeedup, Cell.Coverage);
+      if (V == static_cast<unsigned>(VariantId::FlexVec))
+        (Cell.Group == "SPEC" ? SpecOverall : AppsOverall)
+            .push_back(Cell.Overall);
+    }
+  }
+  R.SpecGeomean = geomean(SpecOverall);
+  R.AppsGeomean = geomean(AppsOverall);
+  R.CacheHits = C.hits() - Hits0;
+  R.CacheMisses = C.misses() - Misses0;
+  R.WallSeconds = msSince(Start) / 1000.0;
+  return R;
+}
+
+Json core::benchJson(const SweepResult &R, bool Deterministic) {
+  Json Doc = Json::object();
+  Doc.set("schema", "flexvec-bench-figure8/v1");
+  Doc.set("seed", R.Seed);
+  Doc.set("scale", R.Scale);
+  Doc.set("trips", R.Trips);
+
+  if (!Deterministic) {
+    Json Run = Json::object();
+    Run.set("jobs", R.Jobs);
+    Run.set("workers", R.Workers);
+    Run.set("wall_seconds", R.WallSeconds);
+    Doc.set("run", std::move(Run));
+  }
+
+  Json CacheJ = Json::object();
+  CacheJ.set("hits", R.CacheHits);
+  CacheJ.set("misses", R.CacheMisses);
+  CacheJ.set("hit_rate", R.cacheHitRate());
+  Doc.set("cache", std::move(CacheJ));
+
+  Json Geo = Json::object();
+  Geo.set("spec", R.SpecGeomean);
+  Geo.set("apps", R.AppsGeomean);
+  Doc.set("geomean_overall_speedup", std::move(Geo));
+
+  Json Cells = Json::array();
+  for (const CellResult &Cell : R.Cells) {
+    Json J = Json::object();
+    J.set("benchmark", Cell.Benchmark);
+    J.set("group", Cell.Group);
+    J.set("variant", Cell.Variant);
+    J.set("generated", Cell.Generated);
+    if (Cell.Generated) {
+      J.set("correct", Cell.Correct);
+      J.set("cycles", Cell.Cycles);
+      J.set("instructions", Cell.Instructions);
+      J.set("uops", Cell.Uops);
+      J.set("hot_speedup", Cell.HotSpeedup);
+      J.set("overall_speedup", Cell.Overall);
+      J.set("coverage", Cell.Coverage);
+      J.set("paper_speedup", Cell.PaperSpeedup);
+      if (!Deterministic) {
+        Json Stage = Json::object();
+        Stage.set("compile_ms", Cell.Times.CompileMs);
+        Stage.set("inputs_ms", Cell.Times.InputsMs);
+        Stage.set("emulate_ms", Cell.Times.EmulateMs);
+        Stage.set("simulate_ms", Cell.Times.SimulateMs);
+        J.set("stage_ms", std::move(Stage));
+      }
+    }
+    Cells.push(std::move(J));
+  }
+  Doc.set("cells", std::move(Cells));
+  return Doc;
+}

@@ -1,0 +1,147 @@
+//===- core/ParallelEvaluator.h - Parallel evaluation engine ----*- C++ -*-===//
+//
+// The parallel evaluation engine behind `flexvec-bench` and the --jobs
+// flags: fans a workload x 5-variant matrix (for the paper evaluation,
+// the 18 Table 2 workloads) out over a deterministic thread pool as
+// independent (compile -> emulate -> simulate) jobs, with a
+// content-addressed compiled-loop cache so the five variant cells of one
+// workload — and repeated sweeps — compile once.
+//
+// Determinism contract: every aggregated number (cycles, speedups,
+// geomeans, cache hit/miss counts) is a pure function of (workloads, seed,
+// trips); the worker count only changes wall-clock time. Per-cell inputs
+// come from PRNG streams seeded by (base seed, workload name), reductions
+// run over the result vector in matrix order after the fan-in, and the
+// cache compiles each key exactly once. ParallelEvaluatorTest compares
+// --jobs=1 against --jobs=8 byte-for-byte on the rendered JSON.
+//
+// The engine lives below the workload library, so it takes loops through
+// the SweepWorkload view; workloads/Figure8.h adapts the 18 Table 2
+// benchmarks onto it.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_CORE_PARALLELEVALUATOR_H
+#define FLEXVEC_CORE_PARALLELEVALUATOR_H
+
+#include "core/CompileCache.h"
+#include "ir/Interp.h"
+#include "memory/Memory.h"
+#include "support/Json.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flexvec {
+namespace core {
+
+/// The five code variants of the evaluation matrix, in column order.
+enum class VariantId : uint8_t {
+  Scalar = 0,
+  Traditional,
+  Speculative,
+  FlexVec,
+  Rtm,
+};
+inline constexpr unsigned NumVariants = 5;
+
+const char *variantName(VariantId V);
+
+/// The variant's program within \p PR, or nullptr if the generator
+/// declined the loop.
+const codegen::CompiledLoop *selectVariant(const PipelineResult &PR,
+                                           VariantId V);
+
+/// A memory image plus the bindings of every hot-loop invocation.
+struct WorkloadInstance {
+  mem::Memory Image;
+  std::vector<ir::Bindings> Invocations;
+};
+
+/// One row of the evaluation matrix, as the engine sees it. \p F must
+/// outlive the sweep; \p Gen must be safe to call concurrently (it only
+/// reads its captures and draws from the Rng it is handed).
+struct SweepWorkload {
+  std::string Name;
+  std::string Group; ///< "SPEC" or "APPS".
+  double Coverage = 0;
+  double PaperSpeedup = 0;
+  const ir::LoopFunction *F = nullptr;
+  std::function<WorkloadInstance(Rng &)> Gen;
+};
+
+struct SweepOptions {
+  unsigned Jobs = 1;  ///< Worker threads (0 = one per hardware thread).
+  uint64_t Seed = 1;  ///< Base seed for the per-workload input streams.
+  double Scale = 1.0; ///< Recorded in the result (workload sizing).
+  unsigned Trips = 1; ///< Whole-matrix repetitions (cache reuse check).
+  unsigned RtmTile = codegen::DefaultRtmTile;
+};
+
+/// Wall-clock stage breakdown of one cell, in milliseconds. Excluded from
+/// the deterministic JSON payload.
+struct StageTimes {
+  double CompileMs = 0;  ///< Cache lookup + compile on miss.
+  double InputsMs = 0;   ///< Memory image / invocation generation.
+  double EmulateMs = 0;  ///< Reference-interpreter run.
+  double SimulateMs = 0; ///< Emulator + OOO timing model run.
+};
+
+/// One (workload, variant) cell of the matrix.
+struct CellResult {
+  std::string Benchmark;
+  std::string Group;   ///< "SPEC" or "APPS".
+  std::string Variant; ///< variantName of the column.
+  bool Generated = false; ///< Variant produced by the pipeline.
+  bool Correct = false;   ///< Matched the reference interpreter.
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Uops = 0;
+  double HotSpeedup = 0;  ///< Scalar cycles / this variant's cycles.
+  double Overall = 0;     ///< Coverage-scaled (Section 5) speedup.
+  double Coverage = 0;
+  double PaperSpeedup = 0; ///< Paper's Figure 8 number, for reference.
+  StageTimes Times;
+};
+
+/// The full sweep, cells in matrix order (workload-major, variant-minor).
+struct SweepResult {
+  std::vector<CellResult> Cells;
+  double SpecGeomean = 0; ///< Over FlexVec overall speedups, SPEC group.
+  double AppsGeomean = 0; ///< Over FlexVec overall speedups, apps group.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  unsigned Jobs = 0;    ///< Requested worker count.
+  unsigned Workers = 0; ///< Actual worker count used.
+  uint64_t Seed = 0;
+  double Scale = 1.0;
+  unsigned Trips = 1;
+  double WallSeconds = 0;
+
+  double cacheHitRate() const {
+    uint64_t Total = CacheHits + CacheMisses;
+    return Total ? static_cast<double>(CacheHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Runs the workloads x variants matrix. \p Cache (optional) persists
+/// compiled loops across calls; when null an internal cache scoped to this
+/// sweep is used.
+SweepResult runSweep(const std::vector<SweepWorkload> &Workloads,
+                     const SweepOptions &Opts, CompileCache *Cache = nullptr);
+
+/// Renders \p R as the BENCH_figure8.json document. With \p Deterministic
+/// set, wall-time fields and the run-environment section (jobs, workers,
+/// wall_seconds, per-stage timings) are omitted so payloads from runs with
+/// different worker counts compare byte-identical.
+Json benchJson(const SweepResult &R, bool Deterministic = false);
+
+} // namespace core
+} // namespace flexvec
+
+#endif // FLEXVEC_CORE_PARALLELEVALUATOR_H

@@ -3,6 +3,7 @@
 #include "ir/Parser.h"
 
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <vector>
 
@@ -520,4 +521,118 @@ private:
 ParseResult ir::parseLoop(const std::string &Source) {
   Parser P(Source);
   return P.run();
+}
+
+//===----------------------------------------------------------------------===//
+// DSL unparser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Expression rendering that matches the grammar exactly: fully
+/// parenthesized binaries, min/max as calls, float literals always with a
+/// decimal point so they lex as FLOAT and not NUMBER.
+std::string renderExpr(const LoopFunction &F, const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+    return std::to_string(E->IntValue);
+  case ExprKind::ConstFloat: {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%g", E->FloatValue);
+    std::string S = Buf;
+    if (S.find_first_of(".e") == std::string::npos)
+      S += ".0";
+    return S;
+  }
+  case ExprKind::ScalarRef:
+    return F.scalar(E->ScalarId).Name;
+  case ExprKind::IndexRef:
+    return "i";
+  case ExprKind::ArrayRef:
+    return F.array(E->ArrayId).Name + "[" + renderExpr(F, E->Index) + "]";
+  case ExprKind::Binary:
+    if (E->Op == BinOp::Min || E->Op == BinOp::Max)
+      return std::string(binOpName(E->Op)) + "(" + renderExpr(F, E->Lhs) +
+             ", " + renderExpr(F, E->Rhs) + ")";
+    return "(" + renderExpr(F, E->Lhs) + " " + binOpName(E->Op) + " " +
+           renderExpr(F, E->Rhs) + ")";
+  case ExprKind::Compare: {
+    const char *Sym = "==";
+    switch (E->Cmp) {
+    case CmpKind::EQ: Sym = "=="; break;
+    case CmpKind::NE: Sym = "!="; break;
+    case CmpKind::LT: Sym = "<"; break;
+    case CmpKind::LE: Sym = "<="; break;
+    case CmpKind::GT: Sym = ">"; break;
+    case CmpKind::GE: Sym = ">="; break;
+    }
+    return "(" + renderExpr(F, E->Lhs) + " " + Sym + " " +
+           renderExpr(F, E->Rhs) + ")";
+  }
+  case ExprKind::LogicalAnd:
+    return "(" + renderExpr(F, E->Lhs) + " && " + renderExpr(F, E->Rhs) +
+           ")";
+  }
+  return "?";
+}
+
+void renderStmts(const LoopFunction &F, const std::vector<Stmt *> &Stmts,
+                 int Depth, std::string &Out) {
+  std::string Indent(static_cast<size_t>(Depth) * 2, ' ');
+  for (const Stmt *S : Stmts) {
+    switch (S->Kind) {
+    case StmtKind::AssignScalar:
+      Out += Indent + F.scalar(S->ScalarId).Name + " = " +
+             renderExpr(F, S->Value) + ";\n";
+      break;
+    case StmtKind::StoreArray:
+      Out += Indent + F.array(S->ArrayId).Name + "[" +
+             renderExpr(F, S->Index) + "] = " + renderExpr(F, S->Value) +
+             ";\n";
+      break;
+    case StmtKind::If:
+      Out += Indent + "if " + renderExpr(F, S->Cond) + " {\n";
+      renderStmts(F, S->Then, Depth + 1, Out);
+      if (!S->Else.empty()) {
+        Out += Indent + "} else {\n";
+        renderStmts(F, S->Else, Depth + 1, Out);
+      }
+      Out += Indent + "}\n";
+      break;
+    case StmtKind::Break:
+      Out += Indent + "break;\n";
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::string ir::printLoopDsl(const LoopFunction &F) {
+  std::string Out = "loop " + F.name() + "(";
+  bool First = true;
+  for (size_t S = 0; S < F.scalars().size(); ++S) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    const ScalarParam &P = F.scalar(static_cast<int>(S));
+    Out += std::string(isa::elemTypeName(P.Type)) + " " + P.Name;
+    if (static_cast<int>(S) == F.tripCountScalar())
+      Out += " trip";
+    if (P.IsLiveOut)
+      Out += " liveout";
+  }
+  for (size_t A = 0; A < F.arrays().size(); ++A) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    const ArrayParam &P = F.array(static_cast<int>(A));
+    Out += std::string(isa::elemTypeName(P.Elem)) + " " + P.Name + "[]";
+    if (P.ReadOnly)
+      Out += " readonly";
+  }
+  Out += ") {\n";
+  renderStmts(F, F.body(), 1, Out);
+  Out += "}\n";
+  return Out;
 }

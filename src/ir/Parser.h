@@ -62,6 +62,12 @@ struct ParseResult {
 /// Parses one loop definition from \p Source.
 ParseResult parseLoop(const std::string &Source);
 
+/// Renders \p F as parseable DSL text — the inverse of parseLoop, used by
+/// the differential tests to print failing generated loops in a form that
+/// reproduces with `flexvec-cli`. Covers everything the grammar covers;
+/// loops using IR-only operators (shifts) render but do not re-parse.
+std::string printLoopDsl(const LoopFunction &F);
+
 } // namespace ir
 } // namespace flexvec
 

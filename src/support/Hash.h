@@ -1,0 +1,57 @@
+//===- support/Hash.h - Stable content hashing ------------------*- C++ -*-===//
+//
+// Platform-stable hashing for cache keys and per-job PRNG stream seeds.
+// std::hash is implementation-defined, so anything that feeds a cache key,
+// a bench JSON payload, or a seeded worker stream goes through these
+// instead: the same inputs must hash identically on every toolchain the
+// determinism tests run under.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_HASH_H
+#define FLEXVEC_SUPPORT_HASH_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+
+namespace flexvec {
+
+/// 64-bit FNV-1a over a byte range.
+inline uint64_t fnv1a64(const void *Data, size_t Size,
+                        uint64_t Seed = 0xcbf29ce484222325ULL) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+inline uint64_t fnv1a64(const std::string &S,
+                        uint64_t Seed = 0xcbf29ce484222325ULL) {
+  return fnv1a64(S.data(), S.size(), Seed);
+}
+
+/// Boost-style combiner for folding word streams into one digest.
+inline uint64_t hashCombine(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+/// Derives the seed of an independent PRNG stream from a base seed and a
+/// stream label (job index, benchmark name hash, ...). Two SplitMix64
+/// steps decorrelate adjacent labels so parallel jobs never share a
+/// stream, and the result depends only on (BaseSeed, Label) — never on
+/// which worker thread runs the job.
+inline uint64_t deriveStreamSeed(uint64_t BaseSeed, uint64_t Label) {
+  SplitMix64 SM(hashCombine(BaseSeed, Label));
+  SM.next();
+  return SM.next();
+}
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_HASH_H

@@ -1,0 +1,133 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace flexvec;
+
+void Json::push(Json V) {
+  assert(K == Kind::Array && "push on a non-array");
+  Elems.push_back(std::move(V));
+}
+
+void Json::set(const std::string &Key, Json V) {
+  assert(K == Kind::Object && "set on a non-object");
+  for (auto &M : Members)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return;
+    }
+  Members.emplace_back(Key, std::move(V));
+}
+
+std::string Json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void Json::render(std::string &Out, int Depth) const {
+  std::string Indent(static_cast<size_t>(Depth) * 2, ' ');
+  std::string ChildIndent(static_cast<size_t>(Depth + 1) * 2, ' ');
+  char Buf[40];
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    break;
+  case Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(IntV));
+    Out += Buf;
+    break;
+  case Kind::UInt:
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(UIntV));
+    Out += Buf;
+    break;
+  case Kind::Double:
+    // %.17g round-trips every finite double; non-finite values have no
+    // JSON spelling, so emit null like most serializers.
+    if (std::isfinite(DoubleV)) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleV);
+      Out += Buf;
+    } else {
+      Out += "null";
+    }
+    break;
+  case Kind::String:
+    Out += '"';
+    Out += escape(StringV);
+    Out += '"';
+    break;
+  case Kind::Array:
+    if (Elems.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += "[\n";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      Out += ChildIndent;
+      Elems[I].render(Out, Depth + 1);
+      Out += I + 1 < Elems.size() ? ",\n" : "\n";
+    }
+    Out += Indent;
+    Out += ']';
+    break;
+  case Kind::Object:
+    if (Members.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += "{\n";
+    for (size_t I = 0; I < Members.size(); ++I) {
+      Out += ChildIndent;
+      Out += '"';
+      Out += escape(Members[I].first);
+      Out += "\": ";
+      Members[I].second.render(Out, Depth + 1);
+      Out += I + 1 < Members.size() ? ",\n" : "\n";
+    }
+    Out += Indent;
+    Out += '}';
+    break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string Out;
+  render(Out, 0);
+  Out += '\n';
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- support/Json.h - Minimal deterministic JSON emission -----*- C++ -*-===//
+//
+// A tiny insertion-ordered JSON document model for the machine-readable
+// bench output (BENCH_*.json). Writing, not parsing: the bench emits
+// documents and the determinism tests compare the rendered bytes, so the
+// renderer must be stable — keys keep insertion order, doubles always
+// format with %.17g, and indentation is fixed two-space.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_JSON_H
+#define FLEXVEC_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexvec {
+
+class Json {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, UInt, Double, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  Json(bool V) : K(Kind::Bool), BoolV(V) {}
+  Json(int V) : K(Kind::Int), IntV(V) {}
+  Json(int64_t V) : K(Kind::Int), IntV(V) {}
+  Json(uint64_t V) : K(Kind::UInt), UIntV(V) {}
+  Json(unsigned V) : K(Kind::UInt), UIntV(V) {}
+  Json(double V) : K(Kind::Double), DoubleV(V) {}
+  Json(const char *V) : K(Kind::String), StringV(V) {}
+  Json(std::string V) : K(Kind::String), StringV(std::move(V)) {}
+
+  static Json array() { Json J; J.K = Kind::Array; return J; }
+  static Json object() { Json J; J.K = Kind::Object; return J; }
+
+  Kind kind() const { return K; }
+
+  /// Appends to an array.
+  void push(Json V);
+  /// Sets a key on an object (insertion-ordered; duplicate keys replace).
+  void set(const std::string &Key, Json V);
+
+  /// Renders with two-space indentation and a trailing newline at the top
+  /// level.
+  std::string dump() const;
+
+  /// JSON string escaping of \p S (without surrounding quotes).
+  static std::string escape(const std::string &S);
+
+private:
+  void render(std::string &Out, int Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  int64_t IntV = 0;
+  uint64_t UIntV = 0;
+  double DoubleV = 0.0;
+  std::string StringV;
+  std::vector<Json> Elems;
+  std::vector<std::pair<std::string, Json>> Members;
+};
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_JSON_H

@@ -1,0 +1,101 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace flexvec;
+
+ThreadPool::ThreadPool(unsigned RequestedWorkers) {
+  Workers = RequestedWorkers != 0 ? RequestedWorkers
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  if (Workers <= 1)
+    return; // Inline execution; no threads.
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::drainBatch() {
+  for (;;) {
+    size_t I = NextJob.fetch_add(1, std::memory_order_relaxed);
+    if (I >= BatchSize)
+      return;
+    try {
+      (*BatchFn)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!BatchError)
+        BatchError = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    WorkCv.wait(Lock, [&] {
+      return ShuttingDown || BatchGeneration != SeenGeneration;
+    });
+    if (ShuttingDown)
+      return;
+    SeenGeneration = BatchGeneration;
+    ++BusyWorkers;
+    Lock.unlock();
+    drainBatch();
+    Lock.lock();
+    if (--BusyWorkers == 0)
+      DoneCv.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Threads.empty()) {
+    // Inline path: identical run-all-then-rethrow semantics to the pool.
+    std::exception_ptr Err;
+    for (size_t I = 0; I < N; ++I) {
+      try {
+        Fn(I);
+      } catch (...) {
+        if (!Err)
+          Err = std::current_exception();
+      }
+    }
+    if (Err)
+      std::rethrow_exception(Err);
+    return;
+  }
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  BatchFn = &Fn;
+  BatchSize = N;
+  BatchError = nullptr;
+  NextJob.store(0, std::memory_order_relaxed);
+  ++BatchGeneration;
+  WorkCv.notify_all();
+  DoneCv.wait(Lock, [&] {
+    return NextJob.load(std::memory_order_relaxed) >= BatchSize &&
+           BusyWorkers == 0;
+  });
+  BatchFn = nullptr;
+  BatchSize = 0;
+  std::exception_ptr Err = BatchError;
+  BatchError = nullptr;
+  Lock.unlock();
+  if (Err)
+    std::rethrow_exception(Err);
+}

@@ -1,0 +1,83 @@
+//===- support/ThreadPool.h - Deterministic fixed-size pool -----*- C++ -*-===//
+//
+// A work-stealing-free thread pool for the parallel evaluation engine.
+// Design constraints (docs/EVALUATION.md):
+//
+//   * Fixed worker count, chosen at construction; never grows or shrinks.
+//   * Jobs are indices 0..N-1 over a pure function. Workers claim indices
+//     from one shared ticket counter (no per-worker deques, no stealing),
+//     and every job writes only its own result slot, so the collected
+//     result vector is ordered by job index and bit-identical regardless
+//     of the worker count or interleaving.
+//   * Per-job PRNG streams are derived from (base seed, job label) with
+//     support/Hash.h, never from thread identity.
+//
+// A pool constructed with <= 1 workers spawns no threads at all and runs
+// jobs inline on the caller; `--jobs=1` therefore exercises the exact
+// code path the determinism tests compare against.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SUPPORT_THREADPOOL_H
+#define FLEXVEC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexvec {
+
+class ThreadPool {
+public:
+  /// \p Workers = 0 asks for one worker per hardware thread.
+  explicit ThreadPool(unsigned Workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of workers executing jobs (>= 1; 1 means inline execution).
+  unsigned workerCount() const { return Workers; }
+
+  /// Runs Fn(0), ..., Fn(N-1) across the workers and returns once all have
+  /// finished. The first exception thrown by any job is rethrown on the
+  /// caller after the batch drains; remaining jobs still run.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// parallelFor that collects Fn's results ordered by job index.
+  template <typename T>
+  std::vector<T> map(size_t N, const std::function<T(size_t)> &Fn) {
+    std::vector<T> Out(N);
+    parallelFor(N, [&](size_t I) { Out[I] = Fn(I); });
+    return Out;
+  }
+
+private:
+  void workerLoop();
+  /// Claims and runs jobs from the current batch until it drains.
+  void drainBatch();
+
+  unsigned Workers;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mu;
+  std::condition_variable WorkCv;  ///< Workers wait for a new batch.
+  std::condition_variable DoneCv;  ///< Caller waits for batch completion.
+  const std::function<void(size_t)> *BatchFn = nullptr;
+  size_t BatchSize = 0;
+  uint64_t BatchGeneration = 0;
+  unsigned BusyWorkers = 0;
+  bool ShuttingDown = false;
+  std::exception_ptr BatchError;
+
+  std::atomic<size_t> NextJob{0}; ///< Shared ticket counter.
+};
+
+} // namespace flexvec
+
+#endif // FLEXVEC_SUPPORT_THREADPOOL_H

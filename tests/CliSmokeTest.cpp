@@ -1,0 +1,128 @@
+//===- tests/CliSmokeTest.cpp - Driver binary smoke tests ------------------===//
+//
+// Runs the installed flexvec-cli and flexvec-bench binaries as a user
+// would and checks the argument-parsing contract: unknown flags and
+// malformed values exit with status 2 and print a usage hint, valid
+// invocations exit 0. Binary paths come from CMake ($<TARGET_FILE:...>).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct CmdResult {
+  int Exit = -1;
+  std::string Output; ///< stdout + stderr, interleaved.
+};
+
+CmdResult run(const std::string &Cmd) {
+  CmdResult R;
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(P);
+  if (WIFEXITED(Status))
+    R.Exit = WEXITSTATUS(Status);
+  return R;
+}
+
+const std::string Cli = FLEXVEC_CLI_PATH;
+const std::string Bench = FLEXVEC_BENCH_PATH;
+const std::string Argmin =
+    std::string(FLEXVEC_SOURCE_DIR) + "/examples/loops/argmin.fv";
+
+void expectRejected(const std::string &Cmd, const std::string &Needle) {
+  CmdResult R = run(Cmd);
+  EXPECT_EQ(R.Exit, 2) << Cmd << "\n" << R.Output;
+  EXPECT_NE(R.Output.find(Needle), std::string::npos)
+      << Cmd << ": expected '" << Needle << "' in:\n" << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos)
+      << Cmd << ": expected a usage hint in:\n" << R.Output;
+}
+
+TEST(CliSmoke, UnknownFlagRejected) {
+  expectRejected(Cli + " --frobnicate " + Argmin, "unknown option");
+}
+
+TEST(CliSmoke, MalformedTripRejected) {
+  expectRejected(Cli + " --trip=abc " + Argmin, "--trip");
+  expectRejected(Cli + " --trip= " + Argmin, "--trip");
+  expectRejected(Cli + " --trip=0 " + Argmin, "--trip");
+}
+
+TEST(CliSmoke, MalformedNumericFlagsRejected) {
+  expectRejected(Cli + " --seed=12x " + Argmin, "--seed");
+  expectRejected(Cli + " --jobs=-3 " + Argmin, "--jobs");
+  expectRejected(Cli + " --tx-abort-prob=1.5 " + Argmin, "--tx-abort-prob");
+}
+
+TEST(CliSmoke, MalformedSetRejected) {
+  expectRejected(Cli + " --set=foo " + Argmin, "--set");
+  expectRejected(Cli + " --set==7 " + Argmin, "--set");
+  expectRejected(Cli + " --set=min_val=zz " + Argmin, "--set");
+}
+
+TEST(CliSmoke, MissingLoopFileRejected) {
+  expectRejected(Cli, "no loop file");
+}
+
+TEST(CliSmoke, MultipleLoopFilesRejected) {
+  expectRejected(Cli + " " + Argmin + " " + Argmin, "multiple loop files");
+}
+
+TEST(CliSmoke, MissingFileFailsNonzeroWithoutUsageSpam) {
+  CmdResult R = run(Cli + " /nonexistent/loop.fv");
+  EXPECT_NE(R.Exit, 0);
+  EXPECT_NE(R.Output.find("cannot open"), std::string::npos) << R.Output;
+}
+
+TEST(CliSmoke, ValidRunSucceeds) {
+  CmdResult R = run(Cli + " " + Argmin + " --trip=64 --seed=3");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("argmin"), std::string::npos) << R.Output;
+}
+
+TEST(CliSmoke, ValidParallelRunSucceeds) {
+  CmdResult R = run(Cli + " " + Argmin + " --trip=64 --jobs=2");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+}
+
+TEST(BenchSmoke, UnknownFlagRejected) {
+  CmdResult R = run(Bench + " --bogus");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
+}
+
+TEST(BenchSmoke, MalformedJobsRejected) {
+  CmdResult R = run(Bench + " --jobs=abc");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+}
+
+TEST(BenchSmoke, TinyDeterministicRunWritesJson) {
+  std::string Out = "cli_smoke_bench.json";
+  std::remove(Out.c_str());
+  CmdResult R = run(Bench + " --scale=0.02 --jobs=2 --deterministic --out=" +
+                    Out + " --quiet");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  FILE *F = std::fopen(Out.c_str(), "r");
+  ASSERT_NE(F, nullptr) << "bench did not write " << Out;
+  char Buf[64] = {0};
+  size_t N = fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_GT(N, 0u);
+  EXPECT_NE(std::string(Buf).find("flexvec-bench-figure8"),
+            std::string::npos);
+  std::remove(Out.c_str());
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/CodegenGoldenTest.cpp - Golden-file codegen regression --------===//
+//
+// Pins the exact generated code for the three flagship example loops
+// (examples/loops/{argmin,find_first,histogram}.fv) across all five
+// variants against checked-in golden files in tests/golden/. Any codegen
+// change — instruction selection, scheduling, register allocation, notes —
+// shows up as a readable diff instead of a silent perf shift.
+//
+// To regenerate after an intentional change:
+//
+//   FLEXVEC_UPDATE_GOLDEN=1 ./build/tests/codegen_golden_test
+//
+// then review the diff of tests/golden/*.golden like any other code change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ParallelEvaluator.h"
+#include "core/Pipeline.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace flexvec;
+
+namespace {
+
+std::string readFile(const std::string &Path, bool *Ok = nullptr) {
+  std::ifstream In(Path);
+  if (Ok)
+    *Ok = In.good();
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Renders the full five-variant compilation of one loop as stable text.
+std::string renderGolden(const ir::LoopFunction &F) {
+  core::PipelineResult PR = core::compileLoop(F, /*RtmTile=*/64);
+  std::ostringstream Out;
+  Out << "# Golden compilation of '" << F.name() << "'. Regenerate with\n"
+      << "#   FLEXVEC_UPDATE_GOLDEN=1 ./build/tests/codegen_golden_test\n"
+      << "# after reviewing an intentional codegen change.\n\n";
+  Out << "plan: " << (PR.Plan.Vectorizable ? "vectorizable" : "rejected")
+      << "\n\n";
+  for (unsigned V = 0; V < core::NumVariants; ++V) {
+    core::VariantId Id = static_cast<core::VariantId>(V);
+    Out << "== " << core::variantName(Id) << " ==\n";
+    const codegen::CompiledLoop *CL = core::selectVariant(PR, Id);
+    if (!CL) {
+      Out << "(not generated)\n\n";
+      continue;
+    }
+    if (!CL->Notes.empty())
+      Out << "; " << CL->Notes << "\n";
+    Out << CL->Prog.disassemble() << "\n";
+  }
+  return Out.str();
+}
+
+/// Points at the first differing line so CI logs read like a diff hunk.
+void expectGoldenEq(const std::string &Golden, const std::string &Actual,
+                    const std::string &GoldenPath) {
+  if (Golden == Actual)
+    return;
+  std::istringstream G(Golden), A(Actual);
+  std::string GLine, ALine;
+  int Line = 1;
+  while (true) {
+    bool HasG = static_cast<bool>(std::getline(G, GLine));
+    bool HasA = static_cast<bool>(std::getline(A, ALine));
+    if (!HasG && !HasA)
+      break;
+    if (!HasG || !HasA || GLine != ALine) {
+      FAIL() << GoldenPath << ":" << Line << ": first difference\n"
+             << "  golden: " << (HasG ? GLine : "<eof>") << "\n"
+             << "  actual: " << (HasA ? ALine : "<eof>") << "\n"
+             << "regenerate with FLEXVEC_UPDATE_GOLDEN=1 if intentional";
+      return;
+    }
+    ++Line;
+  }
+  FAIL() << GoldenPath << ": contents differ (line-by-line scan found no "
+            "difference; check trailing whitespace)";
+}
+
+class CodegenGolden : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CodegenGolden, MatchesCheckedInFile) {
+  std::string Name = GetParam();
+  std::string LoopPath =
+      std::string(FLEXVEC_SOURCE_DIR) + "/examples/loops/" + Name + ".fv";
+  std::string GoldenPath =
+      std::string(FLEXVEC_SOURCE_DIR) + "/tests/golden/" + Name + ".golden";
+
+  bool Ok = false;
+  std::string Source = readFile(LoopPath, &Ok);
+  ASSERT_TRUE(Ok) << "cannot read " << LoopPath;
+  ir::ParseResult P = ir::parseLoop(Source);
+  ASSERT_TRUE(P) << LoopPath << ": " << P.Error;
+
+  std::string Actual = renderGolden(*P.F);
+
+  if (std::getenv("FLEXVEC_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    ASSERT_TRUE(Out.good()) << "cannot write " << GoldenPath;
+    Out << Actual;
+    GTEST_SKIP() << "regenerated " << GoldenPath;
+  }
+
+  std::string Golden = readFile(GoldenPath, &Ok);
+  ASSERT_TRUE(Ok) << "missing golden file " << GoldenPath
+                  << " (generate with FLEXVEC_UPDATE_GOLDEN=1)";
+  expectGoldenEq(Golden, Actual, GoldenPath);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExampleLoops, CodegenGolden,
+                         ::testing::Values("argmin", "find_first",
+                                           "histogram"));
+
+} // namespace

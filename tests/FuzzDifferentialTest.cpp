@@ -16,9 +16,14 @@
 
 #include "core/Evaluator.h"
 #include "core/Pipeline.h"
+#include "ir/Parser.h"
+#include "support/Hash.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 using namespace flexvec;
 using namespace flexvec::ir;
@@ -222,14 +227,17 @@ void runCase(uint64_t Seed) {
         B.setInt(static_cast<int>(S), 1 << 20);
 
     core::RunOutcome Ref = core::runReference(F, M, B);
+    // Failing loops are reported as DSL text, so a failure in CI can be
+    // reproduced directly with `flexvec-cli` from the log.
     auto check = [&](const char *Name, const codegen::CompiledLoop &CL) {
       core::RunOutcome Out = core::runProgram(CL, M, B);
       ASSERT_TRUE(Out.Ok)
           << "seed " << Seed << " " << Name << ": " << Out.Error << "\n"
-          << F.print();
+          << "reproduce with flexvec-cli:\n" << ir::printLoopDsl(F);
       ASSERT_TRUE(core::outcomesMatch(F, Ref, Out))
           << "seed " << Seed << " " << Name << " diverges\n"
-          << F.print() << "\n" << CL.Prog.disassemble();
+          << "reproduce with flexvec-cli:\n" << ir::printLoopDsl(F) << "\n"
+          << CL.Prog.disassemble();
     };
     check("scalar", PR.Scalar);
     if (PR.Traditional)
@@ -253,5 +261,110 @@ TEST_P(FuzzDifferential, AllVariantsMatchReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0, 12));
+
+// The failure-reporting path itself: every generated loop must render as
+// DSL text that parses back to the same loop (so the "reproduce with
+// flexvec-cli" output in the asserts above is actually usable).
+TEST(FuzzDifferential, GeneratedLoopsRoundTripThroughDsl) {
+  for (uint64_t Seed = 0; Seed < 16; ++Seed) {
+    Rng R(Seed);
+    BuiltLoop BL = buildRandomLoop(R, Seed);
+    std::string Dsl = ir::printLoopDsl(*BL.F);
+    ir::ParseResult P = ir::parseLoop(Dsl);
+    ASSERT_TRUE(P) << "seed " << Seed << ": " << P.Error << "\n" << Dsl;
+    EXPECT_EQ(ir::printLoopDsl(*P.F), Dsl) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Checked-in corpus: known-interesting loop shapes under tests/corpus/,
+// cross-checked through every variant including flexvec-rtm.
+//===----------------------------------------------------------------------===//
+
+/// Builds inputs for a corpus loop from naming conventions: arrays are
+/// sized max(trip, 512); arrays named idx* hold small non-negative bucket
+/// indices; scalars named best/sentinel get their conventional values.
+void runCorpusCase(const std::string &Name) {
+  std::string Path =
+      std::string(FLEXVEC_SOURCE_DIR) + "/tests/corpus/" + Name + ".fv";
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  ir::ParseResult P = ir::parseLoop(SS.str());
+  ASSERT_TRUE(P) << Path << ": " << P.Error;
+  LoopFunction &F = *P.F;
+
+  core::PipelineResult PR = core::compileLoop(F, /*RtmTile=*/64);
+  ASSERT_TRUE(PR.Plan.Vectorizable)
+      << Name << ": " << PR.Plan.Reason << "\n" << F.print();
+
+  Rng R(fnv1a64(Name));
+  for (int Input = 0; Input < 3; ++Input) {
+    int64_t Trip = 1 + static_cast<int64_t>(R.nextBelow(400));
+    int64_t Len = std::max<int64_t>(Trip, 512);
+    mem::Memory M;
+    mem::BumpAllocator Alloc(M);
+    Bindings B = Bindings::forFunction(F);
+
+    for (size_t A = 0; A < F.arrays().size(); ++A) {
+      const ArrayParam &AP = F.arrays()[A];
+      std::vector<int32_t> Data(static_cast<size_t>(Len));
+      for (auto &V : Data) {
+        if (AP.Name.rfind("idx", 0) == 0)
+          V = static_cast<int32_t>(R.nextBelow(64)); // bucket indices
+        else if (AP.ReadOnly)
+          V = static_cast<int32_t>(R.nextInRange(-100, 100));
+        else
+          V = static_cast<int32_t>(R.nextInRange(-50, 50));
+      }
+      B.ArrayBases[static_cast<int>(A)] = Alloc.allocArray(Data);
+    }
+    for (size_t S = 0; S < F.scalars().size(); ++S) {
+      int Id = static_cast<int>(S);
+      if (Id == F.tripCountScalar())
+        B.setInt(Id, Trip);
+      else if (F.scalar(S).Name == "best")
+        B.setInt(Id, 1 << 20);
+      else if (F.scalar(S).Name == "sentinel")
+        B.setInt(Id, 7);
+      else
+        B.setInt(Id, static_cast<int32_t>(R.nextInRange(-20, 20)));
+    }
+
+    core::RunOutcome Ref = core::runReference(F, M, B);
+    auto check = [&](const char *VName, const codegen::CompiledLoop &CL) {
+      core::RunOutcome Out = core::runProgram(CL, M, B);
+      ASSERT_TRUE(Out.Ok)
+          << Name << " " << VName << ": " << Out.Error << "\n"
+          << ir::printLoopDsl(F);
+      ASSERT_TRUE(core::outcomesMatch(F, Ref, Out))
+          << Name << " " << VName << " diverges (input " << Input
+          << ", trip " << Trip << ")\n" << ir::printLoopDsl(F) << "\n"
+          << CL.Prog.disassemble();
+    };
+    check("scalar", PR.Scalar);
+    if (PR.Traditional)
+      check("traditional", *PR.Traditional);
+    if (PR.Speculative)
+      check("speculative", *PR.Speculative);
+    if (PR.FlexVec)
+      check("flexvec", *PR.FlexVec);
+    if (PR.Rtm)
+      check("flexvec-rtm", *PR.Rtm);
+  }
+}
+
+class CorpusDifferential : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CorpusDifferential, AllVariantsMatchReference) {
+  runCorpusCase(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusDifferential,
+    ::testing::Values("argmin_key2", "find_sentinel", "histogram_weighted",
+                      "exit_then_update", "masked_else", "update_conflict"));
 
 } // namespace

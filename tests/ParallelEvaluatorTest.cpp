@@ -1,0 +1,279 @@
+//===- tests/ParallelEvaluatorTest.cpp - Engine determinism tests ----------===//
+//
+// The acceptance contract of the parallel evaluation engine:
+//
+//   * ThreadPool collects results in job order, independent of the worker
+//     count, and propagates job exceptions to the caller.
+//   * CompileCache is content-addressed (hits on a renamed copy of the same
+//     loop, misses on a different RTM tile) and single-flight.
+//   * A Figure 8 sweep with --jobs=1 and --jobs=8 produces byte-identical
+//     deterministic JSON payloads and identical per-cell numbers across
+//     several seeds; only wall-time fields may differ.
+//   * Multi-trip sweeps reuse the cache: the miss count stays at the
+//     unique-key count no matter how many times the matrix repeats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompileCache.h"
+#include "core/ParallelEvaluator.h"
+#include "ir/Parser.h"
+#include "support/Hash.h"
+#include "support/ThreadPool.h"
+#include "workloads/Figure8.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+using namespace flexvec;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, MapResultsAreOrderedByJobIndex) {
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Workers);
+    std::vector<int> Out =
+        Pool.map<int>(257, [](size_t I) { return static_cast<int>(I * 3); });
+    ASSERT_EQ(Out.size(), 257u);
+    for (size_t I = 0; I < Out.size(); ++I)
+      EXPECT_EQ(Out[I], static_cast<int>(I * 3)) << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadPool, EveryJobRunsExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "job " << I;
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool Pool(3);
+  std::atomic<int> Ran{0};
+  auto Throwing = [&](size_t I) {
+    Ran.fetch_add(1);
+    if (I == 7)
+      throw std::runtime_error("job 7 failed");
+  };
+  EXPECT_THROW(Pool.parallelFor(16, Throwing), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 16) << "remaining jobs must still run";
+
+  // The pool is reusable after a failed batch.
+  Ran = 0;
+  Pool.parallelFor(8, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 8);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  Pool.parallelFor(4, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool Pool(0);
+  EXPECT_GE(Pool.workerCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hash / PRNG stream derivation
+//===----------------------------------------------------------------------===//
+
+TEST(Hash, StreamSeedsAreStableAndLabelDependent) {
+  uint64_t A = deriveStreamSeed(1, fnv1a64("456.hmmer"));
+  EXPECT_EQ(A, deriveStreamSeed(1, fnv1a64("456.hmmer")));
+  EXPECT_NE(A, deriveStreamSeed(1, fnv1a64("458.sjeng")));
+  EXPECT_NE(A, deriveStreamSeed(2, fnv1a64("456.hmmer")));
+}
+
+//===----------------------------------------------------------------------===//
+// CompileCache
+//===----------------------------------------------------------------------===//
+
+const char *ArgminDsl = R"(
+loop argmin(i64 n trip, i32 min_val liveout, i32 min_idx liveout,
+            i32 key[] readonly) {
+  if (key[i] < min_val) {
+    min_val = key[i];
+    min_idx = i;
+  }
+}
+)";
+
+// The same loop structure under a different name.
+const char *ArgminRenamedDsl = R"(
+loop totally_different_name(i64 n trip, i32 min_val liveout,
+                            i32 min_idx liveout, i32 key[] readonly) {
+  if (key[i] < min_val) {
+    min_val = key[i];
+    min_idx = i;
+  }
+}
+)";
+
+TEST(CompileCache, SecondRequestIsAHit) {
+  ir::ParseResult P = ir::parseLoop(ArgminDsl);
+  ASSERT_TRUE(P) << P.Error;
+  core::CompileCache Cache;
+  bool Hit = true;
+  auto First = Cache.getOrCompile(*P.F, 64, &Hit);
+  EXPECT_FALSE(Hit);
+  auto Second = Cache.getOrCompile(*P.F, 64, &Hit);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(First.get(), Second.get()) << "hit must return the same object";
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(CompileCache, KeyIgnoresLoopName) {
+  ir::ParseResult A = ir::parseLoop(ArgminDsl);
+  ir::ParseResult B = ir::parseLoop(ArgminRenamedDsl);
+  ASSERT_TRUE(A) << A.Error;
+  ASSERT_TRUE(B) << B.Error;
+  EXPECT_EQ(core::CompileCache::keyFor(*A.F, 64),
+            core::CompileCache::keyFor(*B.F, 64));
+
+  core::CompileCache Cache;
+  bool Hit = true;
+  Cache.getOrCompile(*A.F, 64, &Hit);
+  EXPECT_FALSE(Hit);
+  Cache.getOrCompile(*B.F, 64, &Hit);
+  EXPECT_TRUE(Hit) << "renamed copy of the same loop must be a cache hit";
+}
+
+TEST(CompileCache, KeyDependsOnRtmTile) {
+  ir::ParseResult P = ir::parseLoop(ArgminDsl);
+  ASSERT_TRUE(P) << P.Error;
+  EXPECT_NE(core::CompileCache::keyFor(*P.F, 64),
+            core::CompileCache::keyFor(*P.F, 128));
+
+  core::CompileCache Cache;
+  bool Hit = true;
+  Cache.getOrCompile(*P.F, 64, &Hit);
+  EXPECT_FALSE(Hit);
+  Cache.getOrCompile(*P.F, 128, &Hit);
+  EXPECT_FALSE(Hit) << "different RTM tile must compile separately";
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(CompileCache, ConcurrentRequestsCompileOnce) {
+  ir::ParseResult P = ir::parseLoop(ArgminDsl);
+  ASSERT_TRUE(P) << P.Error;
+  core::CompileCache Cache;
+  ThreadPool Pool(8);
+  Pool.parallelFor(32, [&](size_t) { Cache.getOrCompile(*P.F, 64); });
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 31u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep determinism across worker counts
+//===----------------------------------------------------------------------===//
+
+core::SweepOptions sweepOpts(unsigned Jobs, uint64_t Seed) {
+  core::SweepOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Seed = Seed;
+  Opts.Scale = 0.02; // Small inputs: this is a determinism test, not a bench.
+  return Opts;
+}
+
+void expectCellsIdentical(const core::SweepResult &A,
+                          const core::SweepResult &B) {
+  ASSERT_EQ(A.Cells.size(), B.Cells.size());
+  for (size_t I = 0; I < A.Cells.size(); ++I) {
+    const core::CellResult &X = A.Cells[I], &Y = B.Cells[I];
+    EXPECT_EQ(X.Benchmark, Y.Benchmark) << "cell " << I;
+    EXPECT_EQ(X.Variant, Y.Variant) << "cell " << I;
+    EXPECT_EQ(X.Generated, Y.Generated) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Correct, Y.Correct) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Cycles, Y.Cycles) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Instructions, Y.Instructions)
+        << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Uops, Y.Uops) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.HotSpeedup, Y.HotSpeedup) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Overall, Y.Overall) << X.Benchmark << "/" << X.Variant;
+    // StageTimes are wall-clock and deliberately not compared.
+  }
+}
+
+TEST(SweepDeterminism, JobCountDoesNotChangeResults) {
+  for (uint64_t Seed : {1u, 7u, 42u}) {
+    core::SweepResult Serial =
+        workloads::runFigure8Sweep(sweepOpts(/*Jobs=*/1, Seed));
+    core::SweepResult Parallel =
+        workloads::runFigure8Sweep(sweepOpts(/*Jobs=*/8, Seed));
+
+    expectCellsIdentical(Serial, Parallel);
+    EXPECT_EQ(Serial.SpecGeomean, Parallel.SpecGeomean) << "seed " << Seed;
+    EXPECT_EQ(Serial.AppsGeomean, Parallel.AppsGeomean) << "seed " << Seed;
+    EXPECT_EQ(Serial.CacheHits, Parallel.CacheHits) << "seed " << Seed;
+    EXPECT_EQ(Serial.CacheMisses, Parallel.CacheMisses) << "seed " << Seed;
+
+    // The rendered deterministic payloads must be byte-identical.
+    std::string A = core::benchJson(Serial, /*Deterministic=*/true).dump();
+    std::string B = core::benchJson(Parallel, /*Deterministic=*/true).dump();
+    EXPECT_EQ(A, B) << "seed " << Seed
+                    << ": deterministic JSON differs across --jobs";
+  }
+}
+
+TEST(SweepDeterminism, DifferentSeedsChangeInputsNotStructure) {
+  core::SweepResult A = workloads::runFigure8Sweep(sweepOpts(1, 1));
+  core::SweepResult B = workloads::runFigure8Sweep(sweepOpts(1, 2));
+  ASSERT_EQ(A.Cells.size(), B.Cells.size());
+  // Every generated cell stays correct under a different input seed.
+  for (const core::CellResult &C : B.Cells) {
+    if (C.Generated) {
+      EXPECT_TRUE(C.Correct) << C.Benchmark << "/" << C.Variant;
+    }
+  }
+  // And at least some measured cycle counts actually move with the inputs.
+  bool AnyDiffer = false;
+  for (size_t I = 0; I < A.Cells.size(); ++I)
+    if (A.Cells[I].Cycles != B.Cells[I].Cycles)
+      AnyDiffer = true;
+  EXPECT_TRUE(AnyDiffer) << "seed is not reaching the input generators";
+}
+
+TEST(SweepDeterminism, MultiTripReusesTheCache) {
+  core::SweepOptions One = sweepOpts(2, 1);
+  core::SweepOptions Three = One;
+  Three.Trips = 3;
+
+  core::SweepResult R1 = workloads::runFigure8Sweep(One);
+  core::SweepResult R3 = workloads::runFigure8Sweep(Three);
+
+  // Unique compilations are a property of the matrix, not the trip count.
+  EXPECT_EQ(R3.CacheMisses, R1.CacheMisses);
+  EXPECT_GT(R3.CacheHits, R1.CacheHits);
+  expectCellsIdentical(R1, R3); // Cells report the last trip; same numbers.
+}
+
+TEST(SweepDeterminism, DeterministicJsonOmitsWallClockFields) {
+  core::SweepResult R = workloads::runFigure8Sweep(sweepOpts(2, 1));
+  std::string Det = core::benchJson(R, /*Deterministic=*/true).dump();
+  std::string Full = core::benchJson(R, /*Deterministic=*/false).dump();
+  EXPECT_EQ(Det.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(Det.find("stage_ms"), std::string::npos);
+  EXPECT_EQ(Det.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(Full.find("wall_seconds"), std::string::npos);
+  EXPECT_NE(Full.find("stage_ms"), std::string::npos);
+  for (const char *Key :
+       {"\"schema\"", "\"geomean_overall_speedup\"", "\"cells\"",
+        "\"cache\"", "\"seed\""})
+    EXPECT_NE(Det.find(Key), std::string::npos) << Key;
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+//===- tools/flexvec-bench.cpp - Figure 8 sweep driver ---------------------===//
+//
+// Runs the full 18-workload x 5-variant Figure 8 / Table 2 sweep on the
+// parallel evaluation engine and emits the machine-readable trajectory
+// file (BENCH_figure8.json). See docs/EVALUATION.md for the JSON schema
+// and the determinism contract.
+//
+//   flexvec-bench [options]
+//     --jobs=N        worker threads (default: one per hardware thread)
+//     --seed=N        base seed for the workload input streams (default 1)
+//     --scale=X       iteration scale for the workloads (default 1.0)
+//     --trips=N       whole-matrix repetitions; trips > 1 exercise the
+//                     compiled-loop cache across sweeps (default 1)
+//     --out=PATH      JSON output path (default BENCH_figure8.json)
+//     --deterministic omit wall-time fields from the JSON (byte-stable
+//                     across worker counts and machines)
+//     --quiet         suppress the human-readable table
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+#include "support/Table.h"
+#include "workloads/Figure8.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace flexvec;
+
+namespace {
+
+struct BenchOptions {
+  core::SweepOptions Sweep;
+  std::string OutPath = "BENCH_figure8.json";
+  bool Deterministic = false;
+  bool Quiet = false;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(To,
+               "usage: flexvec-bench [--jobs=N] [--seed=N] [--scale=X] "
+               "[--trips=N] [--out=PATH] [--deterministic] [--quiet]\n");
+}
+
+bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
+  Opts.Sweep.Jobs = 0; // Default: one worker per hardware thread.
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    uint64_t U = 0;
+    double D = 0;
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), U)) {
+        std::fprintf(stderr, "error: --jobs expects a non-negative integer, "
+                             "got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Jobs = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), U)) {
+        std::fprintf(stderr, "error: --seed expects a non-negative integer, "
+                             "got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Seed = U;
+    } else if (Arg.rfind("--scale=", 0) == 0) {
+      if (!parseDouble(Arg.substr(8), D) || D <= 0) {
+        std::fprintf(stderr, "error: --scale expects a positive number, "
+                             "got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Scale = D;
+    } else if (Arg.rfind("--trips=", 0) == 0) {
+      if (!parseUInt(Arg.substr(8), U) || U == 0) {
+        std::fprintf(stderr, "error: --trips expects a positive integer, "
+                             "got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Trips = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      Opts.OutPath = Arg.substr(6);
+      if (Opts.OutPath.empty()) {
+        std::fprintf(stderr, "error: --out expects a path\n");
+        return false;
+      }
+    } else if (Arg == "--deterministic") {
+      Opts.Deterministic = true;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(stderr);
+    return 2;
+  }
+
+  core::CompileCache Cache;
+  core::SweepResult R = workloads::runFigure8Sweep(Opts.Sweep, &Cache);
+
+  if (!Opts.Quiet) {
+    std::printf("Figure 8 / Table 2 sweep: %zu cells, %u worker(s), "
+                "%.2fs wall\n\n",
+                R.Cells.size(), R.Workers, R.WallSeconds);
+    TextTable T({"benchmark", "group", "variant", "cycles", "hot speedup",
+                 "overall", "paper", "correct"});
+    for (const core::CellResult &Cell : R.Cells) {
+      if (!Cell.Generated)
+        continue;
+      T.addRow({Cell.Benchmark, Cell.Group, Cell.Variant,
+                TextTable::fmtInt(static_cast<long long>(Cell.Cycles)),
+                TextTable::fmt(Cell.HotSpeedup, 2) + "x",
+                TextTable::fmt(Cell.Overall, 3) + "x",
+                TextTable::fmt(Cell.PaperSpeedup, 2) + "x",
+                Cell.Correct ? "yes" : "NO"});
+    }
+    T.addSeparator();
+    T.addRow({"GEOMEAN (SPEC, flexvec)", "", "", "", "",
+              TextTable::fmt(R.SpecGeomean, 3) + "x", "1.09x", ""});
+    T.addRow({"GEOMEAN (apps, flexvec)", "", "", "", "",
+              TextTable::fmt(R.AppsGeomean, 3) + "x", "1.11x", ""});
+    T.print();
+    std::printf("\ncompile cache: %llu hits, %llu misses (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(R.CacheHits),
+                static_cast<unsigned long long>(R.CacheMisses),
+                100.0 * R.cacheHitRate());
+  }
+
+  // Any incorrect generated cell is a hard failure: the sweep's numbers
+  // are only meaningful when every program matched the reference.
+  int Incorrect = 0;
+  for (const core::CellResult &Cell : R.Cells)
+    if (Cell.Generated && !Cell.Correct)
+      ++Incorrect;
+  if (Incorrect)
+    std::fprintf(stderr, "error: %d cell(s) diverged from the reference "
+                         "interpreter\n", Incorrect);
+
+  std::ofstream Out(Opts.OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Opts.OutPath.c_str());
+    return 2;
+  }
+  Out << core::benchJson(R, Opts.Deterministic).dump();
+  if (!Opts.Quiet)
+    std::printf("wrote %s\n", Opts.OutPath.c_str());
+  return Incorrect ? 1 : 0;
+}

@@ -9,10 +9,15 @@
 //     --dump-pdg          print the program dependence graph
 //     --dump-all          disassemble every generated variant
 //     --run               execute on random inputs and report timing
+//     --jobs=N            measure the variants on N worker threads
+//                         (results are identical for every N; default 1)
 //     --trip=N            trip count for --run (default 10000)
 //     --seed=N            PRNG seed for --run (default 1)
 //     --arraysize=N       elements per array for --run (default 65536)
 //     --set NAME=V        initial value for scalar NAME (repeatable)
+//
+//   Unknown flags and malformed values exit with status 2 and a usage
+//   hint; numeric values must parse in full (no atoll-style truncation).
 //
 //   Fault injection (see docs/FAULTS.md):
 //     --fault-diff        run scalar vs. FlexVec under the same injected
@@ -39,8 +44,10 @@
 #include "core/Measure.h"
 #include "core/Pipeline.h"
 #include "ir/Parser.h"
+#include "support/ArgParse.h"
 #include "support/Random.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstring>
@@ -58,6 +65,7 @@ struct CliOptions {
   bool DumpAll = false;
   bool Run = false;
   bool FaultDiff = false;
+  unsigned Jobs = 1;
   int64_t Trip = 10000;
   uint64_t Seed = 1;
   int64_t ArraySize = 65536;
@@ -65,30 +73,61 @@ struct CliOptions {
   core::FaultPlan Faults;
 };
 
+void usage(std::FILE *To) {
+  std::fprintf(To,
+               "usage: flexvec-cli LOOP.fv [--dump-pdg] [--dump-all] "
+               "[--run] [--jobs=N] [--trip=N] [--seed=N] [--arraysize=N] "
+               "[--set NAME=V] [--fault-diff] [--fault-seed=N] "
+               "[--fault-nth=N] [--fault-range=LO:HI:PROB[:DUR]] "
+               "[--tx-abort-nth=N] [--tx-abort-prob=P] "
+               "[--tx-abort-reason=R] [--rtm-retries=N] [--budget=N]\n");
+}
+
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  // Every numeric value parses strictly: "--trip=1O0" or "--seed=" is an
+  // error, never a silent zero.
+  auto badValue = [](const std::string &Arg, const char *Expected) {
+    std::fprintf(stderr, "error: %s: expected %s\n", Arg.c_str(), Expected);
+    return false;
+  };
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
+    int64_t I = 0;
+    uint64_t U = 0;
+    double D = 0;
     if (Arg == "--dump-pdg") {
       Opts.DumpPdg = true;
     } else if (Arg == "--dump-all") {
       Opts.DumpAll = true;
     } else if (Arg == "--run") {
       Opts.Run = true;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUInt(Arg.substr(7), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Jobs = static_cast<unsigned>(U);
     } else if (Arg.rfind("--trip=", 0) == 0) {
-      Opts.Trip = std::atoll(Arg.c_str() + 7);
+      if (!parseInt(Arg.substr(7), I) || I <= 0)
+        return badValue(Arg, "a positive integer");
+      Opts.Trip = I;
     } else if (Arg.rfind("--seed=", 0) == 0) {
-      Opts.Seed = static_cast<uint64_t>(std::atoll(Arg.c_str() + 7));
+      if (!parseUInt(Arg.substr(7), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Seed = U;
     } else if (Arg.rfind("--arraysize=", 0) == 0) {
-      Opts.ArraySize = std::atoll(Arg.c_str() + 12);
+      if (!parseInt(Arg.substr(12), I) || I <= 0)
+        return badValue(Arg, "a positive integer");
+      Opts.ArraySize = I;
     } else if (Arg == "--fault-diff") {
       Opts.FaultDiff = true;
     } else if (Arg.rfind("--fault-seed=", 0) == 0) {
-      uint64_t S = static_cast<uint64_t>(std::atoll(Arg.c_str() + 13));
-      Opts.Faults.Mem.Seed = S;
-      Opts.Faults.Tx.Seed = S;
+      if (!parseUInt(Arg.substr(13), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Faults.Mem.Seed = U;
+      Opts.Faults.Tx.Seed = U;
     } else if (Arg.rfind("--fault-nth=", 0) == 0) {
-      Opts.Faults.Mem.FailNthAccess =
-          static_cast<uint64_t>(std::atoll(Arg.c_str() + 12));
+      if (!parseUInt(Arg.substr(12), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Faults.Mem.FailNthAccess = U;
     } else if (Arg.rfind("--fault-range=", 0) == 0) {
       faults::RangeFault R;
       std::string Error;
@@ -98,10 +137,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
       Opts.Faults.Mem.Ranges.push_back(R);
     } else if (Arg.rfind("--tx-abort-nth=", 0) == 0) {
-      Opts.Faults.Tx.AbortNthOp =
-          static_cast<uint64_t>(std::atoll(Arg.c_str() + 15));
+      if (!parseUInt(Arg.substr(15), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Faults.Tx.AbortNthOp = U;
     } else if (Arg.rfind("--tx-abort-prob=", 0) == 0) {
-      Opts.Faults.Tx.AbortProb = std::atof(Arg.c_str() + 16);
+      if (!parseDouble(Arg.substr(16), D) || D < 0 || D > 1)
+        return badValue(Arg, "a probability in [0, 1]");
+      Opts.Faults.Tx.AbortProb = D;
     } else if (Arg.rfind("--tx-abort-reason=", 0) == 0) {
       std::string Reason = Arg.substr(18);
       if (Reason == "conflict")
@@ -117,20 +159,33 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
     } else if (Arg.rfind("--rtm-retries=", 0) == 0) {
-      Opts.Faults.MaxRtmRetries =
-          static_cast<unsigned>(std::atoll(Arg.c_str() + 14));
+      if (!parseUInt(Arg.substr(14), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Faults.MaxRtmRetries = static_cast<unsigned>(U);
     } else if (Arg.rfind("--budget=", 0) == 0) {
-      Opts.Faults.MaxInstructions =
-          static_cast<uint64_t>(std::atoll(Arg.c_str() + 9));
-    } else if (Arg == "--set" && A + 1 < Argc) {
-      std::string KV = Argv[++A];
-      size_t Eq = KV.find('=');
-      if (Eq == std::string::npos) {
-        std::fprintf(stderr, "error: --set expects NAME=VALUE\n");
+      if (!parseUInt(Arg.substr(9), U) || U == 0)
+        return badValue(Arg, "a positive integer");
+      Opts.Faults.MaxInstructions = U;
+    } else if (Arg == "--set") {
+      if (A + 1 >= Argc) {
+        std::fprintf(stderr, "error: --set expects a NAME=VALUE argument\n");
         return false;
       }
-      Opts.Sets[KV.substr(0, Eq)] = std::atof(KV.c_str() + Eq + 1);
+      std::string KV = Argv[++A];
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos || Eq == 0 ||
+          !parseDouble(KV.substr(Eq + 1), D)) {
+        std::fprintf(stderr, "error: --set expects NAME=VALUE with a "
+                             "numeric value, got '%s'\n", KV.c_str());
+        return false;
+      }
+      Opts.Sets[KV.substr(0, Eq)] = D;
     } else if (Arg[0] != '-') {
+      if (!Opts.Path.empty()) {
+        std::fprintf(stderr, "error: multiple loop files ('%s' and '%s')\n",
+                     Opts.Path.c_str(), Arg.c_str());
+        return false;
+      }
       Opts.Path = Arg;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
@@ -138,13 +193,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     }
   }
   if (Opts.Path.empty()) {
-    std::fprintf(stderr,
-                 "usage: flexvec-cli LOOP.fv [--dump-pdg] [--dump-all] "
-                 "[--run] [--trip=N] [--seed=N] [--arraysize=N] "
-                 "[--set NAME=V] [--fault-diff] [--fault-seed=N] "
-                 "[--fault-nth=N] [--fault-range=LO:HI:PROB[:DUR]] "
-                 "[--tx-abort-nth=N] [--tx-abort-prob=P] "
-                 "[--tx-abort-reason=R] [--rtm-retries=N] [--budget=N]\n");
+    std::fprintf(stderr, "error: no loop file given\n");
     return false;
   }
   return true;
@@ -228,25 +277,39 @@ int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
                   static_cast<long long>(Ref.LiveOuts[S]));
   std::printf("\n\n");
 
+  // Measure every generated variant, fanned over --jobs workers. Each job
+  // clones the base image, so the measurements are independent and the
+  // table is identical for every worker count.
+  std::vector<std::pair<const char *, const codegen::CompiledLoop *>>
+      Variants;
+  auto addVariant = [&](const char *Name,
+                        const std::optional<codegen::CompiledLoop> &CL) {
+    if (CL)
+      Variants.emplace_back(Name, &*CL);
+  };
+  Variants.emplace_back("scalar", &PR.Scalar);
+  addVariant("traditional", PR.Traditional);
+  addVariant("speculative", PR.Speculative);
+  addVariant("flexvec", PR.FlexVec);
+  addVariant("flexvec-opt", PR.FlexVecOpt);
+  addVariant("flexvec-rtm", PR.Rtm);
+
+  ThreadPool Pool(Opts.Jobs);
+  std::vector<core::Measurement> Ms =
+      Pool.map<core::Measurement>(Variants.size(), [&](size_t I) {
+        return core::measureProgram(*Variants[I].second, Image, B);
+      });
+
   TextTable T({"variant", "cycles", "IPC", "speedup vs scalar", "correct"});
-  core::Measurement Base = core::measureProgram(PR.Scalar, Image, B);
-  auto row = [&](const char *Name,
-                 const std::optional<codegen::CompiledLoop> &CL) {
-    if (!CL)
-      return;
-    core::Measurement M = core::measureProgram(*CL, Image, B);
-    T.addRow({Name,
+  const core::Measurement &Base = Ms[0]; // Scalar is always first.
+  for (size_t I = 0; I < Variants.size(); ++I) {
+    const core::Measurement &M = Ms[I];
+    T.addRow({Variants[I].first,
               TextTable::fmtInt(static_cast<long long>(M.Timing.Cycles)),
               TextTable::fmt(M.Timing.ipc(), 2),
               TextTable::fmt(core::speedup(Base, M), 2) + "x",
               core::outcomesMatch(F, Ref, M.Outcome) ? "yes" : "NO"});
-  };
-  row("scalar", PR.Scalar);
-  row("traditional", PR.Traditional);
-  row("speculative", PR.Speculative);
-  row("flexvec", PR.FlexVec);
-  row("flexvec-opt", PR.FlexVecOpt);
-  row("flexvec-rtm", PR.Rtm);
+  }
   T.print();
   return 0;
 }
@@ -289,8 +352,10 @@ int runFaultDiff(const ir::LoopFunction &F, const core::PipelineResult &PR,
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts))
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(stderr);
     return 2;
+  }
 
   std::ifstream In(Opts.Path);
   if (!In) {
