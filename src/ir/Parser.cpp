@@ -90,6 +90,20 @@ private:
         IsFloat |= Src[Pos] == '.';
         ++Pos;
       }
+      // Optional exponent ([eE][+-]?digits), so %.17g reproducer output
+      // like 9.9999999999999995e-08 lexes back as one FLOAT token.
+      if (Pos < Src.size() && (Src[Pos] == 'e' || Src[Pos] == 'E')) {
+        size_t E = Pos + 1;
+        if (E < Src.size() && (Src[E] == '+' || Src[E] == '-'))
+          ++E;
+        if (E < Src.size() && std::isdigit(static_cast<unsigned char>(Src[E]))) {
+          Pos = E;
+          while (Pos < Src.size() &&
+                 std::isdigit(static_cast<unsigned char>(Src[Pos])))
+            ++Pos;
+          IsFloat = true;
+        }
+      }
       std::string Text = Src.substr(Start, Pos - Start);
       if (IsFloat) {
         Cur.Kind = TokKind::Float;
@@ -537,8 +551,10 @@ std::string renderExpr(const LoopFunction &F, const Expr *E) {
   case ExprKind::ConstInt:
     return std::to_string(E->IntValue);
   case ExprKind::ConstFloat: {
+    // %.17g so every finite double round-trips exactly; a differential-test
+    // reproducer must reproduce the failing constant bit-for-bit.
     char Buf[48];
-    std::snprintf(Buf, sizeof(Buf), "%g", E->FloatValue);
+    std::snprintf(Buf, sizeof(Buf), "%.17g", E->FloatValue);
     std::string S = Buf;
     if (S.find_first_of(".e") == std::string::npos)
       S += ".0";

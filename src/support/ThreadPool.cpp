@@ -26,17 +26,24 @@ ThreadPool::~ThreadPool() {
     T.join();
 }
 
-void ThreadPool::drainBatch() {
+void ThreadPool::drainBatch(Batch &B) {
   for (;;) {
-    size_t I = NextJob.fetch_add(1, std::memory_order_relaxed);
-    if (I >= BatchSize)
+    size_t I = B.NextJob.fetch_add(1, std::memory_order_relaxed);
+    if (I >= B.Size)
       return;
     try {
-      (*BatchFn)(I);
+      B.Fn(I);
     } catch (...) {
       std::lock_guard<std::mutex> Lock(Mu);
-      if (!BatchError)
-        BatchError = std::current_exception();
+      if (!B.Error)
+        B.Error = std::current_exception();
+    }
+    // The acq_rel increment chain makes every job's side effects visible to
+    // whichever worker performs the final increment; that worker then
+    // notifies the caller under Mu, which publishes them to the caller.
+    if (B.DoneJobs.fetch_add(1, std::memory_order_acq_rel) + 1 == B.Size) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      DoneCv.notify_all();
     }
   }
 }
@@ -51,12 +58,16 @@ void ThreadPool::workerLoop() {
     if (ShuttingDown)
       return;
     SeenGeneration = BatchGeneration;
-    ++BusyWorkers;
+    // Snapshot the batch under the lock. A worker that missed a whole batch
+    // (the others drained it before this one woke) observes either the next
+    // batch or null; it can never see a half-torn-down one, and the
+    // shared_ptr keeps whatever it did observe alive while it drains.
+    std::shared_ptr<Batch> B = Current;
+    if (!B)
+      continue;
     Lock.unlock();
-    drainBatch();
+    drainBatch(*B);
     Lock.lock();
-    if (--BusyWorkers == 0)
-      DoneCv.notify_all();
   }
 }
 
@@ -80,21 +91,21 @@ void ThreadPool::parallelFor(size_t N,
     return;
   }
 
+  auto B = std::make_shared<Batch>(Fn, N);
   std::unique_lock<std::mutex> Lock(Mu);
-  BatchFn = &Fn;
-  BatchSize = N;
-  BatchError = nullptr;
-  NextJob.store(0, std::memory_order_relaxed);
+  Current = B;
   ++BatchGeneration;
   WorkCv.notify_all();
+  // All Size jobs completed implies all Size tickets were claimed, so any
+  // worker still holding this batch will see NextJob >= Size and bail
+  // without touching Fn; returning (and destroying Fn) is then safe even
+  // though that worker may not have re-acquired Mu yet.
   DoneCv.wait(Lock, [&] {
-    return NextJob.load(std::memory_order_relaxed) >= BatchSize &&
-           BusyWorkers == 0;
+    return B->DoneJobs.load(std::memory_order_acquire) == B->Size;
   });
-  BatchFn = nullptr;
-  BatchSize = 0;
-  std::exception_ptr Err = BatchError;
-  BatchError = nullptr;
+  if (Current == B)
+    Current.reset();
+  std::exception_ptr Err = B->Error;
   Lock.unlock();
   if (Err)
     std::rethrow_exception(Err);

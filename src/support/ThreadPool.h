@@ -24,8 +24,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -58,24 +60,35 @@ public:
   }
 
 private:
+  struct Batch;
+
   void workerLoop();
-  /// Claims and runs jobs from the current batch until it drains.
-  void drainBatch();
+  /// Claims and runs jobs from \p B until its tickets are exhausted.
+  void drainBatch(Batch &B);
 
   unsigned Workers;
   std::vector<std::thread> Threads;
 
+  /// All state for one parallelFor call. Owned by a shared_ptr so a worker
+  /// that wakes up late holds the batch it snapshotted alive and can never
+  /// read state the caller has already reused for the next batch. Tickets
+  /// and completion are counted per batch, so a stale worker cannot steal a
+  /// ticket from (or double-count a job of) any other batch.
+  struct Batch {
+    Batch(const std::function<void(size_t)> &F, size_t N) : Fn(F), Size(N) {}
+    const std::function<void(size_t)> &Fn; ///< Valid until DoneJobs == Size.
+    const size_t Size;
+    std::atomic<size_t> NextJob{0};  ///< Ticket counter; may exceed Size.
+    std::atomic<size_t> DoneJobs{0}; ///< Jobs finished (ran or threw).
+    std::exception_ptr Error;        ///< Guarded by Mu.
+  };
+
   std::mutex Mu;
   std::condition_variable WorkCv;  ///< Workers wait for a new batch.
   std::condition_variable DoneCv;  ///< Caller waits for batch completion.
-  const std::function<void(size_t)> *BatchFn = nullptr;
-  size_t BatchSize = 0;
-  uint64_t BatchGeneration = 0;
-  unsigned BusyWorkers = 0;
-  bool ShuttingDown = false;
-  std::exception_ptr BatchError;
-
-  std::atomic<size_t> NextJob{0}; ///< Shared ticket counter.
+  std::shared_ptr<Batch> Current;  ///< Guarded by Mu; null between batches.
+  uint64_t BatchGeneration = 0;    ///< Guarded by Mu; bumped per batch.
+  bool ShuttingDown = false;       ///< Guarded by Mu.
 };
 
 } // namespace flexvec

@@ -71,6 +71,22 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
   EXPECT_EQ(Ran.load(), 8);
 }
 
+TEST(ThreadPool, BackToBackTinyBatchesNeverSkipOrDoubleRunJobs) {
+  // Regression test for the stale-worker race: with far more workers than
+  // jobs per batch, most workers sleep through entire batches and wake only
+  // after the caller has already published the next one. A late worker must
+  // never claim a ticket from, or read the torn-down state of, a batch it
+  // did not observe — each job of each batch runs exactly once.
+  ThreadPool Pool(8);
+  for (int Round = 0; Round < 2000; ++Round) {
+    size_t N = 1 + static_cast<size_t>(Round % 3);
+    std::vector<std::atomic<int>> Hits(N);
+    Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(Hits[I].load(), 1) << "round " << Round << " job " << I;
+  }
+}
+
 TEST(ThreadPool, SingleWorkerRunsInline) {
   ThreadPool Pool(1);
   EXPECT_EQ(Pool.workerCount(), 1u);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 using namespace flexvec;
 using namespace flexvec::ir;
 
@@ -84,6 +86,27 @@ loop fsum(i64 n trip, f32 acc liveout, f32 w[] readonly) {
   core::PipelineResult PR = core::compileLoop(*R.F);
   ASSERT_TRUE(PR.Plan.Vectorizable) << PR.Plan.Reason;
   ASSERT_EQ(PR.Plan.Reductions.size(), 1u);
+}
+
+TEST(Parser, FloatConstantsRoundTripExactlyThroughDsl) {
+  // The unparser output is pasted back in as a reproducer when a
+  // differential test fails, so every finite double must survive
+  // print -> parse bit-for-bit (%g's 6 significant digits did not).
+  const double Awkward[] = {0.30000000000000004, 1.0 / 3.0, 1e-7,
+                            6.02214076e23, 1.0000000000000002};
+  for (double V : Awkward) {
+    char Src[160];
+    std::snprintf(Src, sizeof(Src),
+                  "loop fc(i64 n trip, f64 acc liveout) { acc = %.17g; }", V);
+    ParseResult R = parseLoop(Src);
+    ASSERT_TRUE(R) << R.Error;
+    std::string Dsl = printLoopDsl(*R.F);
+    ParseResult R2 = parseLoop(Dsl);
+    ASSERT_TRUE(R2) << R2.Error << "\n" << Dsl;
+    const Stmt *S = R2.F->body()[0];
+    ASSERT_EQ(S->Value->Kind, ExprKind::ConstFloat) << Dsl;
+    EXPECT_EQ(S->Value->FloatValue, V) << Dsl;
+  }
 }
 
 TEST(Parser, OperatorPrecedenceAndParens) {
