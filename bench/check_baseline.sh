@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the deterministic Figure 8 sweep and diffs it against the
+# checked-in baseline (bench/BENCH_figure8.baseline.json) with
+# flexvec-benchdiff. The CI bench-gate job runs this on every PR; it
+# fails on correctness regressions, per-cell cycle growth beyond the
+# default 2% tolerance, or a >2% geomean-speedup drop.
+#
+#   usage: bench/check_baseline.sh [build-dir]    (default: build)
+#
+# After an intentional performance or modelling change, regenerate the
+# baseline locally and commit it together with the change:
+#
+#   FLEXVEC_UPDATE_BASELINE=1 bench/check_baseline.sh build
+#
+# The baseline configuration is canonical: --deterministic --seed=1
+# --scale=0.1. The payload is byte-identical for any --jobs value, so
+# --jobs=0 (all hardware threads) is safe everywhere.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BASELINE="$REPO_ROOT/bench/BENCH_figure8.baseline.json"
+CURRENT="$BUILD_DIR/BENCH_figure8.current.json"
+
+BENCH="$BUILD_DIR/tools/flexvec-bench"
+BENCHDIFF="$BUILD_DIR/tools/flexvec-benchdiff"
+for Tool in "$BENCH" "$BENCHDIFF"; do
+  if [ ! -x "$Tool" ]; then
+    echo "error: $Tool not found; build the 'flexvec-bench' and" \
+         "'flexvec-benchdiff' targets first" >&2
+    exit 2
+  fi
+done
+
+"$BENCH" --deterministic --seed=1 --scale=0.1 --jobs=0 --quiet \
+  --out="$CURRENT"
+
+if [ "${FLEXVEC_UPDATE_BASELINE:-0}" = "1" ]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "updated $BASELINE"
+  exit 0
+fi
+
+exec "$BENCHDIFF" "$BASELINE" "$CURRENT"

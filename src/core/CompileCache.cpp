@@ -4,6 +4,8 @@
 
 #include "support/Hash.h"
 
+#include <chrono>
+
 using namespace flexvec;
 using namespace flexvec::core;
 
@@ -66,6 +68,8 @@ CompileCache::getOrCompile(const ir::LoopFunction &F, unsigned RtmTile,
   Hits.fetch_add(1, std::memory_order_relaxed);
   if (WasHit)
     *WasHit = true;
+  if (Fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+    Waits.fetch_add(1, std::memory_order_relaxed);
   return Fut.get();
 }
 

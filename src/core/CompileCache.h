@@ -48,6 +48,10 @@ public:
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  /// Hits that found the compile still in flight and blocked on the shared
+  /// future. Schedule-dependent (more workers → more overlap), so the
+  /// bench reports it as a non-deterministic run metric only.
+  uint64_t waits() const { return Waits.load(std::memory_order_relaxed); }
   size_t size() const;
 
   /// Drops every cached program (counters are kept).
@@ -58,7 +62,7 @@ private:
 
   mutable std::mutex Mu;
   std::map<uint64_t, Entry> Map;
-  std::atomic<uint64_t> Hits{0}, Misses{0};
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Waits{0};
 };
 
 } // namespace core

@@ -23,6 +23,7 @@ RunOutcome core::runProgram(const codegen::CompiledLoop &CL,
   emu::RunLimits Limits;
   Limits.MaxInstructions = MaxInstructions;
   Out.Exec = Machine.run(CL.Prog, Limits, Sink);
+  Out.Tx = Machine.txStats();
   Out.Ok = Out.Exec.Reason == emu::StopReason::Halted;
   if (!Out.Ok)
     Out.Error = Out.Exec.describe();
@@ -85,11 +86,7 @@ RunOutcome core::runProgramMulti(const LoopFunction &F,
       Machine.setScalar(codegen::arrayBaseReg(static_cast<int>(A)).Index,
                         static_cast<int64_t>(B.ArrayBases[A]));
     emu::ExecResult R = Machine.run(CL.Prog, Limits, Sink);
-    Out.Exec.Stats.Instructions += R.Stats.Instructions;
-    Out.Exec.Stats.Branches += R.Stats.Branches;
-    Out.Exec.Stats.MemoryAccesses += R.Stats.MemoryAccesses;
-    for (size_t I = 0; I < R.Stats.OpcodeCounts.size(); ++I)
-      Out.Exec.Stats.OpcodeCounts[I] += R.Stats.OpcodeCounts[I];
+    Out.Exec.Stats.merge(R.Stats);
     if (R.Reason != emu::StopReason::Halted) {
       Out.Ok = false;
       Out.Error = "invocation failed: " + R.describe();
@@ -101,6 +98,7 @@ RunOutcome core::runProgramMulti(const LoopFunction &F,
           codegen::scalarParamReg(static_cast<int>(S)).Index));
     Out.LiveOutHash = foldLiveOuts(F, Out.LiveOutHash, Out.LiveOuts);
   }
+  Out.Tx = Machine.txStats();
   Out.MemFingerprint = M.fingerprint();
   return Out;
 }

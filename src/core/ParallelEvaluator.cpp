@@ -9,6 +9,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 using namespace flexvec;
@@ -70,36 +71,52 @@ CellResult evalCell(const SweepWorkload &W, VariantId V,
   Cell.Coverage = W.Coverage;
   Cell.PaperSpeedup = W.PaperSpeedup;
 
-  Clock::time_point T0 = Clock::now();
-  std::shared_ptr<const PipelineResult> PR =
-      Cache.getOrCompile(*W.F, Opts.RtmTile);
-  Cell.Times.CompileMs = msSince(T0);
+  std::shared_ptr<const PipelineResult> PR;
+  {
+    obs::ScopedTimer T(Cell.Times.CompileMs);
+    PR = Cache.getOrCompile(*W.F, Opts.RtmTile);
+  }
 
   const codegen::CompiledLoop *CL = selectVariant(*PR, V);
   if (!CL)
     return Cell; // Generator declined the loop: empty cell.
   Cell.Generated = true;
 
-  T0 = Clock::now();
-  Rng R(deriveStreamSeed(Opts.Seed, fnv1a64(W.Name)));
-  WorkloadInstance In = W.Gen(R);
-  Cell.Times.InputsMs = msSince(T0);
+  WorkloadInstance In = [&] {
+    obs::ScopedTimer T(Cell.Times.InputsMs);
+    Rng R(deriveStreamSeed(Opts.Seed, fnv1a64(W.Name)));
+    return W.Gen(R);
+  }();
 
-  T0 = Clock::now();
-  RunOutcome Ref = runReferenceMulti(*W.F, In.Image, In.Invocations);
-  Cell.Times.EmulateMs = msSince(T0);
+  RunOutcome Ref;
+  {
+    obs::ScopedTimer T(Cell.Times.EmulateMs);
+    Ref = runReferenceMulti(*W.F, In.Image, In.Invocations);
+  }
 
-  T0 = Clock::now();
   sim::OooCore Core;
-  RunOutcome Out =
-      runProgramMulti(*W.F, *CL, In.Image, In.Invocations, &Core);
-  Cell.Times.SimulateMs = msSince(T0);
+  RunOutcome Out;
+  {
+    obs::ScopedTimer T(Cell.Times.SimulateMs);
+    Out = runProgramMulti(*W.F, *CL, In.Image, In.Invocations, &Core);
+  }
 
   Cell.Correct = outcomesMatch(*W.F, Ref, Out);
   sim::SimStats Stats = Core.stats();
   Cell.Cycles = Stats.Cycles;
   Cell.Instructions = Stats.Instructions;
   Cell.Uops = Stats.Uops;
+
+  // Harvest the per-layer stats into this cell's registry. Registration
+  // order is fixed (emu, rtm, sim) so two registries for the same cell
+  // render byte-identically regardless of the worker schedule.
+  emu::recordMetrics(Out.Exec.Stats, Cell.Metrics);
+  rtm::recordMetrics(Out.Tx, Cell.Metrics);
+  if (Out.Tx.Begins)
+    Cell.Metrics.gauge("rtm.fallback_rate")
+        .set(static_cast<double>(Out.Exec.Stats.RtmFallbacks) /
+             static_cast<double>(Out.Tx.Begins));
+  sim::recordMetrics(Stats, Cell.Metrics);
   return Cell;
 }
 
@@ -110,7 +127,7 @@ SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
   Clock::time_point Start = Clock::now();
   CompileCache Local;
   CompileCache &C = Cache ? *Cache : Local;
-  uint64_t Hits0 = C.hits(), Misses0 = C.misses();
+  uint64_t Hits0 = C.hits(), Misses0 = C.misses(), Waits0 = C.waits();
 
   size_t NumCells = Workloads.size() * NumVariants;
 
@@ -122,13 +139,27 @@ SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
   R.Scale = Opts.Scale;
   R.Trips = std::max(1u, Opts.Trips);
 
+  // Pool-occupancy probe: cells in flight right now, and the high-water
+  // mark. Observability only — the values are schedule-dependent and are
+  // excluded from the deterministic JSON payload.
+  std::atomic<unsigned> InFlight{0}, PeakInFlight{0};
+
   for (unsigned Trip = 0; Trip < R.Trips; ++Trip) {
     R.Cells = Pool.map<CellResult>(NumCells, [&](size_t I) {
+      unsigned Now = InFlight.fetch_add(1, std::memory_order_relaxed) + 1;
+      unsigned Peak = PeakInFlight.load(std::memory_order_relaxed);
+      while (Now > Peak && !PeakInFlight.compare_exchange_weak(
+                               Peak, Now, std::memory_order_relaxed))
+        ;
       const SweepWorkload &W = Workloads[I / NumVariants];
       VariantId V = static_cast<VariantId>(I % NumVariants);
-      return evalCell(W, V, Opts, C);
+      CellResult Cell = evalCell(W, V, Opts, C);
+      InFlight.fetch_sub(1, std::memory_order_relaxed);
+      return Cell;
     });
   }
+  R.PeakInFlight = PeakInFlight.load(std::memory_order_relaxed);
+  R.SingleFlightWaits = C.waits() - Waits0;
 
   // Ordered fan-in: speedups against the scalar column, then the group
   // geomeans over the FlexVec column — all reductions walk the cells in
@@ -158,7 +189,7 @@ SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
 
 Json core::benchJson(const SweepResult &R, bool Deterministic) {
   Json Doc = Json::object();
-  Doc.set("schema", "flexvec-bench-figure8/v1");
+  Doc.set("schema", "flexvec-bench-figure8/v2");
   Doc.set("seed", R.Seed);
   Doc.set("scale", R.Scale);
   Doc.set("trips", R.Trips);
@@ -168,6 +199,8 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
     Run.set("jobs", R.Jobs);
     Run.set("workers", R.Workers);
     Run.set("wall_seconds", R.WallSeconds);
+    Run.set("single_flight_waits", R.SingleFlightWaits);
+    Run.set("peak_in_flight", R.PeakInFlight);
     Doc.set("run", std::move(Run));
   }
 
@@ -181,6 +214,14 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
   Geo.set("spec", R.SpecGeomean);
   Geo.set("apps", R.AppsGeomean);
   Doc.set("geomean_overall_speedup", std::move(Geo));
+
+  // Sweep-level metric aggregate: per-cell registries merged in matrix
+  // order (gauges are per-cell derived values and drop out of the merge),
+  // so the aggregate is as deterministic as the cells themselves.
+  obs::Registry Totals;
+  for (const CellResult &Cell : R.Cells)
+    Totals.merge(Cell.Metrics);
+  Doc.set("metrics", Totals.toJson(/*IncludeTimers=*/!Deterministic));
 
   Json Cells = Json::array();
   for (const CellResult &Cell : R.Cells) {
@@ -198,6 +239,8 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
       J.set("overall_speedup", Cell.Overall);
       J.set("coverage", Cell.Coverage);
       J.set("paper_speedup", Cell.PaperSpeedup);
+      J.set("metrics",
+            Cell.Metrics.toJson(/*IncludeTimers=*/!Deterministic));
       if (!Deterministic) {
         Json Stage = Json::object();
         Stage.set("compile_ms", Cell.Times.CompileMs);

@@ -27,6 +27,7 @@
 #include "core/CompileCache.h"
 #include "ir/Interp.h"
 #include "memory/Memory.h"
+#include "obs/Metrics.h"
 #include "support/Json.h"
 #include "support/Random.h"
 
@@ -105,6 +106,10 @@ struct CellResult {
   double Coverage = 0;
   double PaperSpeedup = 0; ///< Paper's Figure 8 number, for reference.
   StageTimes Times;
+  /// Per-cell structured metrics harvested from the variant's simulated
+  /// run (emu.*, rtm.*, sim.* — see docs/OBSERVABILITY.md). Pure event
+  /// counts and ratios of them: byte-stable across worker counts.
+  obs::Registry Metrics;
 };
 
 /// The full sweep, cells in matrix order (workload-major, variant-minor).
@@ -114,6 +119,11 @@ struct SweepResult {
   double AppsGeomean = 0; ///< Over FlexVec overall speedups, apps group.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Schedule-dependent pipeline observability (excluded from the
+  /// deterministic JSON payload): cache hits that blocked on an in-flight
+  /// compile, and the peak number of concurrently evaluating cells.
+  uint64_t SingleFlightWaits = 0;
+  unsigned PeakInFlight = 0;
   unsigned Jobs = 0;    ///< Requested worker count.
   unsigned Workers = 0; ///< Actual worker count used.
   uint64_t Seed = 0;

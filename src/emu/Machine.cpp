@@ -2,6 +2,7 @@
 
 #include "emu/Machine.h"
 
+#include "obs/Metrics.h"
 #include "support/Bits.h"
 #include "support/Error.h"
 
@@ -25,6 +26,29 @@ const char *emu::stopReasonName(StopReason R) {
     return "budget-exceeded";
   }
   unreachable("unknown stop reason");
+}
+
+void ExecStats::merge(const ExecStats &O) {
+  Instructions += O.Instructions;
+  Branches += O.Branches;
+  TakenBranches += O.TakenBranches;
+  MemoryAccesses += O.MemoryAccesses;
+  VectorOps += O.VectorOps;
+  RtmRetries += O.RtmRetries;
+  RtmFallbacks += O.RtmFallbacks;
+  BackoffCycles += O.BackoffCycles;
+  VplSteps += O.VplSteps;
+  VplPartitions += O.VplPartitions;
+  FFClips += O.FFClips;
+  FFSuppressedLanes += O.FFSuppressedLanes;
+  ConflictChecks += O.ConflictChecks;
+  ConflictHits += O.ConflictHits;
+  for (size_t I = 0; I < MaskDensity.size(); ++I)
+    MaskDensity[I] += O.MaskDensity[I];
+  for (size_t I = 0; I < RtmRetryDepth.size(); ++I)
+    RtmRetryDepth[I] += O.RtmRetryDepth[I];
+  for (size_t I = 0; I < OpcodeCounts.size(); ++I)
+    OpcodeCounts[I] += O.OpcodeCounts[I];
 }
 
 std::string ExecResult::describe() const {
@@ -788,6 +812,8 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
             FaultAddr = Res.FaultAddr;
           } else {
             // Speculative fault: clip the write mask from this lane on.
+            ++Stats.FFClips;
+            Stats.FFSuppressedLanes += popcount(Mask & ~lowBitMask(L));
             K[I.MaskReg.Index] &= lowBitMask(L);
           }
           break;
@@ -821,6 +847,8 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
           }
         }
       }
+      ++Stats.ConflictChecks;
+      Stats.ConflictHits += popcount(Out);
       K[I.Dst.Index] = Out;
       break;
     }
@@ -845,6 +873,9 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
         unsigned Cut = I.Op == Opcode::KFtmExc ? First : First + 1;
         Out = Enable & lowBitMask(Cut);
       }
+      ++Stats.VplSteps;
+      if (Out != Enable)
+        ++Stats.VplPartitions;
       K[I.Dst.Index] = Out;
       break;
     }
@@ -894,10 +925,13 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       Tx.begin();
       break;
     case Opcode::XEnd:
-      if (Tx.commit())
+      if (Tx.commit()) {
+        ++Stats.RtmRetryDepth[std::min(
+            TxAttempts, ExecStats::RtmRetryDepthBuckets - 1)];
         TxAttempts = 0;
-      else
+      } else {
         TxAborted = true; // Injected commit-time abort.
+      }
       break;
     case Opcode::XAbort:
       Tx.abort(rtm::AbortReason::Explicit);
@@ -937,6 +971,11 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       if (Taken)
         ++Stats.TakenBranches;
     }
+    if (I.isVector()) {
+      ++Stats.VectorOps;
+      ++Stats.MaskDensity[std::min(
+          popcount(ActiveMask), ExecStats::MaskDensityBuckets - 1)];
+    }
     Stats.MemoryAccesses += AddrScratch.size();
 
     if (Sink) {
@@ -961,4 +1000,33 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
 
     PC = NextPC;
   }
+}
+
+// --- Metrics export ------------------------------------------------------===//
+
+void emu::recordMetrics(const ExecStats &S, obs::Registry &R) {
+  R.counter("emu.instructions").inc(S.Instructions);
+  R.counter("emu.branches").inc(S.Branches);
+  R.counter("emu.taken_branches").inc(S.TakenBranches);
+  R.counter("emu.memory_accesses").inc(S.MemoryAccesses);
+  R.counter("emu.vector_ops").inc(S.VectorOps);
+  R.counter("emu.vpl.steps").inc(S.VplSteps);
+  R.counter("emu.vpl.partitions").inc(S.VplPartitions);
+  R.counter("emu.ff.clips").inc(S.FFClips);
+  R.counter("emu.ff.suppressed_lanes").inc(S.FFSuppressedLanes);
+  R.counter("emu.conflict.checks").inc(S.ConflictChecks);
+  R.counter("emu.conflict.hits").inc(S.ConflictHits);
+  R.counter("emu.rtm.retries").inc(S.RtmRetries);
+  R.counter("emu.rtm.fallbacks").inc(S.RtmFallbacks);
+  R.counter("emu.rtm.backoff_cycles").inc(S.BackoffCycles);
+  obs::Histogram &MD =
+      R.histogram("emu.mask_density", ExecStats::MaskDensityBuckets);
+  for (unsigned B = 0; B < ExecStats::MaskDensityBuckets; ++B)
+    if (S.MaskDensity[B])
+      MD.addToBucket(B, S.MaskDensity[B]);
+  obs::Histogram &RD =
+      R.histogram("emu.rtm.retry_depth", ExecStats::RtmRetryDepthBuckets);
+  for (unsigned B = 0; B < ExecStats::RtmRetryDepthBuckets; ++B)
+    if (S.RtmRetryDepth[B])
+      RD.addToBucket(B, S.RtmRetryDepth[B]);
 }

@@ -25,6 +25,9 @@
 #include <vector>
 
 namespace flexvec {
+namespace obs {
+class Registry;
+}
 namespace emu {
 
 /// One 512-bit vector register with typed lane accessors.
@@ -69,20 +72,57 @@ enum class StopReason : uint8_t {
 
 const char *stopReasonName(StopReason R);
 
-/// Dynamic execution statistics.
+/// Dynamic execution statistics. Everything here is a pure event count —
+/// a function of (program, inputs) only — which is what lets the bench
+/// export these as byte-stable metrics under --deterministic.
 struct ExecStats {
   uint64_t Instructions = 0;
   uint64_t Branches = 0;
   uint64_t TakenBranches = 0;
   uint64_t MemoryAccesses = 0;
+  uint64_t VectorOps = 0;     ///< Instructions with isVector() semantics.
   uint64_t RtmRetries = 0;   ///< Aborted transactions re-executed in place.
   uint64_t RtmFallbacks = 0; ///< Aborts dispatched to the abort handler.
   uint64_t BackoffCycles = 0; ///< Simulated stall cycles between retries.
+
+  // Vector Partitioning Loop behaviour (paper Section 3.4): every
+  // KFTM.EXC/INC is one VPL step; a step whose safe mask came out smaller
+  // than the enabled mask cut the vector short and forces a re-execution
+  // partition.
+  uint64_t VplSteps = 0;
+  uint64_t VplPartitions = 0;
+
+  // First-faulting loads (Section 3.3.1): clip events where a speculative
+  // lane faulted and the write mask was truncated, plus how many enabled
+  // lanes each clip suppressed.
+  uint64_t FFClips = 0;
+  uint64_t FFSuppressedLanes = 0;
+
+  // Conflict detection (Section 3.6): VCONFLICTM executions and the total
+  // number of lanes they flagged as conflicting.
+  uint64_t ConflictChecks = 0;
+  uint64_t ConflictHits = 0;
+
+  /// Write-mask density of vector ops: bucket N counts vector instructions
+  /// that executed with exactly N active lanes (0..16 for 512-bit / 32-bit
+  /// elements). The paper's partial-vector efficiency argument is read
+  /// straight off this distribution.
+  static constexpr unsigned MaskDensityBuckets = 17;
+  std::array<uint64_t, MaskDensityBuckets> MaskDensity{};
+
+  /// Retry depth of successful transactions: bucket N counts commits that
+  /// needed N in-place retries first (last bucket saturates).
+  static constexpr unsigned RtmRetryDepthBuckets = 8;
+  std::array<uint64_t, RtmRetryDepthBuckets> RtmRetryDepth{};
+
   std::array<uint64_t, isa::NumOpcodes> OpcodeCounts{};
 
   uint64_t countOf(isa::Opcode Op) const {
     return OpcodeCounts[static_cast<unsigned>(Op)];
   }
+
+  /// Element-wise accumulation of another run's counts.
+  void merge(const ExecStats &O);
 };
 
 /// Result of Machine::run. Beyond the stop reason, carries enough
@@ -183,6 +223,11 @@ private:
   bool Faulted = false;
   uint64_t FaultAddr = 0;
 };
+
+/// Exports \p S into \p R under the `emu.` metric namespace (counters plus
+/// the mask-density and RTM-retry-depth histograms); see
+/// docs/OBSERVABILITY.md for the catalog.
+void recordMetrics(const ExecStats &S, obs::Registry &R);
 
 } // namespace emu
 } // namespace flexvec

@@ -1,0 +1,292 @@
+//===- obs/BenchDiff.cpp --------------------------------------------------===//
+
+#include "obs/BenchDiff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace flexvec;
+using namespace flexvec::obs;
+
+namespace {
+
+std::string fmtPct(double Pct) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%+.2f%%", Pct);
+  return Buf;
+}
+
+/// Tolerance values as the user wrote them: "2" not "2.000000".
+std::string fmtTol(double Tol) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", Tol);
+  return Buf;
+}
+
+/// Percent growth of Cur over Base; 0 when Base is 0 and Cur is 0,
+/// +inf-ish sentinel (report as "from zero") handled by callers.
+double growthPct(double Base, double Cur) {
+  if (Base == 0.0)
+    return Cur == 0.0 ? 0.0 : 100.0;
+  return (Cur - Base) / Base * 100.0;
+}
+
+const Json *cellField(const Json &Cell, const char *Name) {
+  return Cell.find(Name);
+}
+
+std::string cellKey(const Json &Cell) {
+  const Json *B = Cell.find("benchmark");
+  const Json *V = Cell.find("variant");
+  return (B ? B->asString() : "?") + "/" + (V ? V->asString() : "?");
+}
+
+bool numbersDiffer(const Json &A, const Json &B) {
+  return A.asDouble() != B.asDouble();
+}
+
+/// Structural equality for metric values (numbers and histogram arrays).
+bool metricsEqual(const Json &A, const Json &B) {
+  if (A.isArray() != B.isArray())
+    return false;
+  if (A.isArray()) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (numbersDiffer(A.elems()[I], B.elems()[I]))
+        return false;
+    return true;
+  }
+  return !numbersDiffer(A, B);
+}
+
+class Differ {
+public:
+  Differ(const Json &Base, const Json &Cur, const BenchDiffOptions &Opts)
+      : Base(Base), Cur(Cur), Opts(Opts) {}
+
+  BenchDiffReport run() {
+    if (!comparable())
+      return R;
+    diffGeomeans();
+    diffCells();
+    diffAggregateMetrics();
+    if (!R.Regressions.empty())
+      R.ExitCode = 1;
+    return R;
+  }
+
+private:
+  void regress(const std::string &Msg) { R.Regressions.push_back(Msg); }
+  void note(const std::string &Msg) { R.Notes.push_back(Msg); }
+  void unusable(const std::string &Msg) {
+    R.ExitCode = 2;
+    R.Regressions.push_back(Msg);
+  }
+
+  /// Schema + sweep-configuration gate: exit 2 when the two documents do
+  /// not describe the same experiment.
+  bool comparable() {
+    const Json *BS = Base.find("schema"), *CS = Cur.find("schema");
+    if (!BS || !BS->isString() || !CS || !CS->isString()) {
+      unusable("schema: missing or non-string in one of the inputs");
+      return false;
+    }
+    if (BS->asString() != CS->asString()) {
+      unusable("schema mismatch: baseline '" + BS->asString() +
+               "' vs current '" + CS->asString() + "'");
+      return false;
+    }
+    for (const char *Key : {"seed", "scale", "trips"}) {
+      const Json *BV = Base.find(Key), *CV = Cur.find(Key);
+      if (!BV || !CV || numbersDiffer(*BV, *CV)) {
+        unusable(std::string(Key) +
+                 ": sweep configuration differs; runs are not comparable");
+        return false;
+      }
+    }
+    if (!Base.find("cells") || !Base.find("cells")->isArray() ||
+        !Cur.find("cells") || !Cur.find("cells")->isArray()) {
+      unusable("cells: missing array in one of the inputs");
+      return false;
+    }
+    return true;
+  }
+
+  void diffGeomeans() {
+    const Json *BG = Base.find("geomean_overall_speedup");
+    const Json *CG = Cur.find("geomean_overall_speedup");
+    if (!BG || !CG)
+      return;
+    for (const char *Group : {"spec", "apps"}) {
+      const Json *BV = BG->find(Group), *CV = CG->find(Group);
+      if (!BV || !CV)
+        continue;
+      double B = BV->asDouble(), C = CV->asDouble();
+      double DropPct = -growthPct(B, C); // positive when current is slower
+      std::ostringstream Msg;
+      Msg << "geomean_overall_speedup." << Group << ": " << B << " -> " << C
+          << " (" << fmtPct(-DropPct) << ")";
+      if (DropPct > Opts.GeomeanTolerancePct)
+        regress(Msg.str() + " exceeds -" + fmtTol(Opts.GeomeanTolerancePct) +
+                "% tolerance");
+      else if (B != C)
+        note(Msg.str());
+    }
+  }
+
+  void diffCells() {
+    std::map<std::string, const Json *> CurCells;
+    for (const Json &Cell : Cur.find("cells")->elems())
+      CurCells[cellKey(Cell)] = &Cell;
+
+    for (const Json &BCell : Base.find("cells")->elems()) {
+      std::string Key = cellKey(BCell);
+      auto It = CurCells.find(Key);
+      if (It == CurCells.end()) {
+        regress(Key + ": cell present in baseline but missing from current");
+        continue;
+      }
+      diffCell(Key, BCell, *It->second);
+      CurCells.erase(It);
+    }
+    for (const auto &KV : CurCells)
+      note(KV.first + ": new cell, not in baseline");
+  }
+
+  void diffCell(const std::string &Key, const Json &B, const Json &C) {
+    const Json *BGen = cellField(B, "generated");
+    const Json *CGen = cellField(C, "generated");
+    bool BG = BGen && BGen->asBool(), CG = CGen && CGen->asBool();
+    if (BG && !CG) {
+      regress(Key + ": variant was generated in baseline but not in current");
+      return;
+    }
+    if (!BG && CG) {
+      note(Key + ": variant newly generated");
+      return;
+    }
+    if (!BG)
+      return;
+
+    const Json *BCor = cellField(B, "correct");
+    const Json *CCor = cellField(C, "correct");
+    if (BCor && CCor && BCor->asBool() && !CCor->asBool()) {
+      regress(Key + ": correctness regression (differential check now fails)");
+      return;
+    }
+    if (BCor && CCor && !BCor->asBool() && CCor->asBool())
+      note(Key + ": correctness fixed");
+
+    const Json *BCyc = cellField(B, "cycles");
+    const Json *CCyc = cellField(C, "cycles");
+    if (BCyc && CCyc) {
+      double Pct = growthPct(BCyc->asDouble(), CCyc->asDouble());
+      if (Pct != 0.0) {
+        std::ostringstream Msg;
+        Msg << Key << ": cycles " << BCyc->asUInt() << " -> " << CCyc->asUInt()
+            << " (" << fmtPct(Pct) << ")";
+        if (Pct > Opts.CyclesTolerancePct)
+          regress(Msg.str() + " exceeds +" + fmtTol(Opts.CyclesTolerancePct) +
+                  "% tolerance");
+        else
+          note(Msg.str());
+      }
+    }
+  }
+
+  /// Aggregate (top-level) metrics: always reported when they drift, but
+  /// only configured thresholds can fail the diff — most counters are
+  /// expected to move when codegen or workloads change.
+  void diffAggregateMetrics() {
+    const Json *BM = Base.find("metrics"), *CM = Cur.find("metrics");
+    if (!BM || !BM->isObject())
+      return;
+    for (const auto &M : BM->members()) {
+      const Json *CV = CM ? CM->find(M.first) : nullptr;
+      double Threshold = thresholdFor(M.first);
+      if (!CV) {
+        if (Threshold >= 0.0)
+          regress("metrics." + M.first +
+                  ": thresholded metric missing from current");
+        else
+          note("metrics." + M.first + ": missing from current");
+        continue;
+      }
+      if (metricsEqual(M.second, *CV))
+        continue;
+      if (M.second.isArray() || CV->isArray()) {
+        note("metrics." + M.first + ": histogram changed");
+        continue;
+      }
+      double Pct = growthPct(M.second.asDouble(), CV->asDouble());
+      std::ostringstream Msg;
+      Msg << "metrics." << M.first << ": " << M.second.asDouble() << " -> "
+          << CV->asDouble() << " (" << fmtPct(Pct) << ")";
+      if (Threshold >= 0.0 && Pct > Threshold)
+        regress(Msg.str() + " exceeds +" + fmtTol(Threshold) + "% threshold");
+      else
+        note(Msg.str());
+    }
+  }
+
+  /// Configured max-growth threshold for \p Name, or -1 when unset.
+  double thresholdFor(const std::string &Name) const {
+    for (const auto &T : Opts.MetricThresholds)
+      if (T.first == Name)
+        return T.second;
+    return -1.0;
+  }
+
+  const Json &Base;
+  const Json &Cur;
+  const BenchDiffOptions &Opts;
+  BenchDiffReport R;
+};
+
+bool readFile(const std::string &Path, std::string &Out, std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = Path + ": cannot open";
+    return false;
+  }
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return true;
+}
+
+} // namespace
+
+BenchDiffReport obs::diffBench(const Json &Baseline, const Json &Current,
+                               const BenchDiffOptions &Opts) {
+  return Differ(Baseline, Current, Opts).run();
+}
+
+BenchDiffReport obs::diffBenchFiles(const std::string &BaselinePath,
+                                    const std::string &CurrentPath,
+                                    const BenchDiffOptions &Opts) {
+  BenchDiffReport R;
+  std::string BaseText, CurText, Err;
+  if (!readFile(BaselinePath, BaseText, Err) ||
+      !readFile(CurrentPath, CurText, Err)) {
+    R.ExitCode = 2;
+    R.Regressions.push_back(Err);
+    return R;
+  }
+  Json Base, Cur;
+  if (!Json::parse(BaseText, Base, Err)) {
+    R.ExitCode = 2;
+    R.Regressions.push_back(BaselinePath + ": " + Err);
+    return R;
+  }
+  if (!Json::parse(CurText, Cur, Err)) {
+    R.ExitCode = 2;
+    R.Regressions.push_back(CurrentPath + ": " + Err);
+    return R;
+  }
+  return diffBench(Base, Cur, Opts);
+}

@@ -1,0 +1,68 @@
+//===- obs/BenchDiff.h - Bench JSON regression comparator -------*- C++ -*-===//
+//
+// The engine behind `flexvec-benchdiff baseline.json current.json`: loads
+// two flexvec-bench-figure8/v2 documents, pairs cells by
+// (benchmark, variant), and decides pass/fail. The CI bench-gate job runs
+// this against the checked-in bench/BENCH_figure8.baseline.json on every
+// PR (docs/OBSERVABILITY.md describes the thresholds and the
+// FLEXVEC_UPDATE_BASELINE regen flow).
+//
+// Exit-code contract, shared with flexvec-bench and flexvec-cli:
+//   0  no regression
+//   1  regression (correctness flipped, cycles/geomean beyond tolerance,
+//      a baseline cell disappeared, or a configured metric threshold
+//      tripped)
+//   2  unusable input (parse failure, schema mismatch, different
+//      seed/scale/trips — the two runs are not comparable)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_OBS_BENCHDIFF_H
+#define FLEXVEC_OBS_BENCHDIFF_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexvec {
+namespace obs {
+
+struct BenchDiffOptions {
+  /// Max per-cell simulated-cycle growth, percent, before failing. Cycles
+  /// are deterministic event counts, so any nonzero growth is a real
+  /// change; the tolerance only absorbs intentional small modelling
+  /// tweaks that are not worth a baseline bump.
+  double CyclesTolerancePct = 2.0;
+  /// Max drop in geomean overall speedup (spec and apps), percent.
+  double GeomeanTolerancePct = 2.0;
+  /// Per-metric failure thresholds on the top-level aggregate `metrics`
+  /// object: (name, max growth percent). Metrics without a threshold are
+  /// reported when they drift but never fail the diff.
+  std::vector<std::pair<std::string, double>> MetricThresholds;
+};
+
+struct BenchDiffReport {
+  /// 0 / 1 / 2 per the contract above.
+  int ExitCode = 0;
+  /// Human-readable findings, one per line: regressions first, then
+  /// informational drift notes.
+  std::vector<std::string> Regressions;
+  std::vector<std::string> Notes;
+};
+
+/// Compares \p Current against \p Baseline (both parsed bench documents).
+BenchDiffReport diffBench(const Json &Baseline, const Json &Current,
+                          const BenchDiffOptions &Opts);
+
+/// Convenience wrapper: reads and parses both files, then diffs. IO and
+/// parse errors land in the report as ExitCode 2.
+BenchDiffReport diffBenchFiles(const std::string &BaselinePath,
+                               const std::string &CurrentPath,
+                               const BenchDiffOptions &Opts);
+
+} // namespace obs
+} // namespace flexvec
+
+#endif // FLEXVEC_OBS_BENCHDIFF_H

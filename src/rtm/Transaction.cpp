@@ -2,6 +2,7 @@
 
 #include "rtm/Transaction.h"
 
+#include "obs/Metrics.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -196,4 +197,23 @@ bool TransactionManager::write(uint64_t Addr, const void *Data, uint64_t Size,
     return false;
   }
   return true;
+}
+
+// --- Metrics export ------------------------------------------------------===//
+
+void rtm::recordMetrics(const TxStats &S, obs::Registry &R) {
+  R.counter("rtm.begins").inc(S.Begins);
+  R.counter("rtm.commits").inc(S.Commits);
+  R.counter("rtm.aborts").inc(S.Aborts);
+  R.counter("rtm.aborts.fault").inc(S.AbortsByFault);
+  R.counter("rtm.aborts.capacity").inc(S.AbortsByCapacity);
+  R.counter("rtm.aborts.explicit").inc(S.AbortsExplicit);
+  R.counter("rtm.aborts.conflict").inc(S.AbortsByConflict);
+  R.counter("rtm.aborts.spurious").inc(S.AbortsSpurious);
+  R.counter("rtm.aborts.nested").inc(S.AbortsNested);
+  R.counter("rtm.injected_aborts").inc(S.InjectedAborts);
+  R.counter("rtm.bytes_logged").inc(S.BytesLogged);
+  if (S.Begins)
+    R.gauge("rtm.commit_rate")
+        .set(static_cast<double>(S.Commits) / static_cast<double>(S.Begins));
 }

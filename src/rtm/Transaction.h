@@ -21,6 +21,9 @@
 #include <vector>
 
 namespace flexvec {
+namespace obs {
+class Registry;
+}
 namespace rtm {
 
 /// Why a transaction aborted.
@@ -136,6 +139,11 @@ private:
   TxFaultHook *Hook = nullptr;
   AbortReason LastAbort = AbortReason::None;
 };
+
+/// Exports \p S into \p R under the `rtm.` metric namespace: begin/commit/
+/// abort counters, aborts split by AbortReason, bytes logged, and the
+/// derived commit-rate gauge (see docs/OBSERVABILITY.md).
+void recordMetrics(const TxStats &S, obs::Registry &R);
 
 } // namespace rtm
 } // namespace flexvec

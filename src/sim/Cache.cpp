@@ -2,6 +2,8 @@
 
 #include "sim/Cache.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -130,4 +132,21 @@ unsigned MemoryHierarchy::accessLatency(uint64_t Addr, uint32_t,
   if (LevelOut)
     *LevelOut = Level::Dram;
   return Cfg.MemoryLatency;
+}
+
+// --- Metrics export ------------------------------------------------------===//
+
+void sim::recordMetrics(const MemStats &S, obs::Registry &R) {
+  R.counter("sim.mem.accesses").inc(S.Accesses);
+  R.counter("sim.mem.l1_hits").inc(S.L1Hits);
+  R.counter("sim.mem.l2_hits").inc(S.L2Hits);
+  R.counter("sim.mem.l3_hits").inc(S.L3Hits);
+  R.counter("sim.mem.dram_accesses").inc(S.MemAccesses);
+  R.counter("sim.mem.prefetches").inc(S.PrefetchIssued);
+  if (S.Accesses) {
+    double N = static_cast<double>(S.Accesses);
+    R.gauge("sim.mem.l1_hit_rate").set(static_cast<double>(S.L1Hits) / N);
+    R.gauge("sim.mem.l2_hit_rate").set(static_cast<double>(S.L2Hits) / N);
+    R.gauge("sim.mem.l3_hit_rate").set(static_cast<double>(S.L3Hits) / N);
+  }
 }

@@ -18,6 +18,9 @@
 #include <vector>
 
 namespace flexvec {
+namespace obs {
+class Registry;
+}
 namespace sim {
 
 /// One set-associative LRU cache level.
@@ -52,6 +55,10 @@ struct MemStats {
   uint64_t L1Hits = 0, L2Hits = 0, L3Hits = 0, MemAccesses = 0;
   uint64_t PrefetchIssued = 0;
 };
+
+/// Exports \p S into \p R under the `sim.mem.` metric namespace: demand
+/// access counters per level plus derived hit-rate gauges.
+void recordMetrics(const MemStats &S, obs::Registry &R);
 
 /// The full hierarchy. loadLatency() returns the load-to-use latency for
 /// an access and performs all fills.

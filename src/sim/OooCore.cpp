@@ -3,6 +3,7 @@
 #include "sim/OooCore.h"
 
 #include "isa/InstrInfo.h"
+#include "obs/Metrics.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -300,4 +301,21 @@ SimStats OooCore::stats() const {
   S.Mem = Mem.stats();
   S.Mispredicts = Bp.mispredicts();
   return S;
+}
+
+// --- Metrics export ------------------------------------------------------===//
+
+void sim::recordMetrics(const SimStats &S, obs::Registry &R) {
+  R.counter("sim.cycles").inc(S.Cycles);
+  R.counter("sim.instructions").inc(S.Instructions);
+  R.counter("sim.uops").inc(S.Uops);
+  R.counter("sim.branches").inc(S.Branches);
+  R.counter("sim.mispredicts").inc(S.Mispredicts);
+  R.counter("sim.bound.front_end").inc(S.BoundByFrontEnd);
+  R.counter("sim.bound.window").inc(S.BoundByWindow);
+  R.counter("sim.bound.deps").inc(S.BoundByDeps);
+  R.counter("sim.bound.ports").inc(S.BoundByPorts);
+  R.gauge("sim.ipc").set(S.ipc());
+  R.gauge("sim.upc").set(S.upc());
+  recordMetrics(S.Mem, R);
 }

@@ -147,8 +147,11 @@ private:
   SimStats Stats;
 };
 
-/// Convenience: run \p CL's program functionally while timing it; returns
-/// the stats. (Defined in OooCore.cpp to keep call sites small.)
+/// Exports \p S into \p R under the `sim.` metric namespace — cycle/
+/// instruction/uop counters, issue-bound attribution, branch mispredicts,
+/// the IPC/UPC gauges — and delegates the hierarchy counters to the
+/// MemStats overload.
+void recordMetrics(const SimStats &S, obs::Registry &R);
 
 } // namespace sim
 } // namespace flexvec

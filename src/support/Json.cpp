@@ -3,8 +3,10 @@
 #include "support/Json.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace flexvec;
 
@@ -130,4 +132,361 @@ std::string Json::dump() const {
   render(Out, 0);
   Out += '\n';
   return Out;
+}
+
+int64_t Json::asInt() const {
+  switch (K) {
+  case Kind::Int:
+    return IntV;
+  case Kind::UInt:
+    return static_cast<int64_t>(UIntV);
+  case Kind::Double:
+    return static_cast<int64_t>(DoubleV);
+  default:
+    return 0;
+  }
+}
+
+uint64_t Json::asUInt() const {
+  switch (K) {
+  case Kind::Int:
+    return static_cast<uint64_t>(IntV);
+  case Kind::UInt:
+    return UIntV;
+  case Kind::Double:
+    return static_cast<uint64_t>(DoubleV);
+  default:
+    return 0;
+  }
+}
+
+double Json::asDouble() const {
+  switch (K) {
+  case Kind::Int:
+    return static_cast<double>(IntV);
+  case Kind::UInt:
+    return static_cast<double>(UIntV);
+  case Kind::Double:
+    return DoubleV;
+  default:
+    return 0.0;
+  }
+}
+
+const Json *Json::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+size_t Json::size() const {
+  if (K == Kind::Array)
+    return Elems.size();
+  if (K == Kind::Object)
+    return Members.size();
+  return 0;
+}
+
+namespace {
+
+/// Strict recursive-descent parser over the byte range [P, End). No
+/// recovery: the first violation aborts with a message + offset.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Err)
+      : Begin(Text.data()), P(Text.data()), End(Text.data() + Text.size()),
+        Err(Err) {}
+
+  bool run(Json &Out) {
+    skipWs();
+    if (!value(Out, 0))
+      return false;
+    skipWs();
+    if (P != End)
+      return fail("trailing characters after top-level value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 128;
+
+  bool fail(const std::string &Msg) {
+    Err = Msg + " at offset " + std::to_string(P - Begin);
+    return false;
+  }
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool literal(const char *Lit) {
+    const char *Q = P;
+    for (; *Lit; ++Lit, ++Q)
+      if (Q == End || *Q != *Lit)
+        return fail("invalid literal");
+    P = Q;
+    return true;
+  }
+
+  bool value(Json &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (P == End)
+      return fail("unexpected end of input");
+    switch (*P) {
+    case '{':
+      return object(Out, Depth);
+    case '[':
+      return array(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!string(S))
+        return false;
+      Out = Json(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Json(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Json(false);
+      return true;
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Json();
+      return true;
+    default:
+      return number(Out);
+    }
+  }
+
+  bool object(Json &Out, int Depth) {
+    ++P; // '{'
+    Out = Json::object();
+    skipWs();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (P == End || *P != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (P == End || *P != ':')
+        return fail("expected ':' after object key");
+      ++P;
+      skipWs();
+      Json V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (P == End)
+        return fail("unterminated object");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(Json &Out, int Depth) {
+    ++P; // '['
+    Out = Json::array();
+    skipWs();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      Json V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (P == End)
+        return fail("unterminated array");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++P; // '"'
+    while (P != End && *P != '"') {
+      unsigned char C = static_cast<unsigned char>(*P);
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return fail("unterminated escape");
+        switch (*P) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          unsigned V = 0;
+          for (int I = 0; I < 4; ++I) {
+            ++P;
+            if (P == End)
+              return fail("unterminated \\u escape");
+            char H = *P;
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          // The writer only emits \u00XX for control bytes; decode BMP
+          // code points as UTF-8 and reject surrogates, which it never
+          // produces.
+          if (V >= 0xD800 && V <= 0xDFFF)
+            return fail("surrogate \\u escapes are not supported");
+          if (V < 0x80) {
+            Out += static_cast<char>(V);
+          } else if (V < 0x800) {
+            Out += static_cast<char>(0xC0 | (V >> 6));
+            Out += static_cast<char>(0x80 | (V & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (V >> 12));
+            Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (V & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+        }
+        ++P;
+      } else {
+        Out += *P;
+        ++P;
+      }
+    }
+    if (P == End)
+      return fail("unterminated string");
+    ++P; // closing '"'
+    return true;
+  }
+
+  bool number(Json &Out) {
+    const char *Start = P;
+    bool Negative = P != End && *P == '-';
+    if (Negative)
+      ++P;
+    if (P == End || *P < '0' || *P > '9')
+      return fail("invalid number");
+    if (*P == '0' && P + 1 != End && P[1] >= '0' && P[1] <= '9')
+      return fail("leading zeros are not allowed");
+    bool Integral = true;
+    while (P != End && *P >= '0' && *P <= '9')
+      ++P;
+    if (P != End && *P == '.') {
+      Integral = false;
+      ++P;
+      if (P == End || *P < '0' || *P > '9')
+        return fail("digits required after decimal point");
+      while (P != End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      Integral = false;
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || *P < '0' || *P > '9')
+        return fail("digits required in exponent");
+      while (P != End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    std::string Tok(Start, P);
+    errno = 0;
+    if (Integral && !Negative) {
+      char *TokEnd = nullptr;
+      unsigned long long V = std::strtoull(Tok.c_str(), &TokEnd, 10);
+      if (errno == 0 && TokEnd == Tok.c_str() + Tok.size()) {
+        Out = Json(static_cast<uint64_t>(V));
+        return true;
+      }
+    } else if (Integral) {
+      char *TokEnd = nullptr;
+      long long V = std::strtoll(Tok.c_str(), &TokEnd, 10);
+      if (errno == 0 && TokEnd == Tok.c_str() + Tok.size()) {
+        Out = Json(static_cast<int64_t>(V));
+        return true;
+      }
+    }
+    // Fractions, exponents, and out-of-range integers widen to double.
+    errno = 0;
+    char *TokEnd = nullptr;
+    double D = std::strtod(Tok.c_str(), &TokEnd);
+    if (TokEnd != Tok.c_str() + Tok.size())
+      return fail("invalid number");
+    Out = Json(D);
+    return true;
+  }
+
+  const char *Begin;
+  const char *P;
+  const char *End;
+  std::string &Err;
+};
+
+} // namespace
+
+bool Json::parse(const std::string &Text, Json &Out, std::string &Err) {
+  Parser Prs(Text, Err);
+  return Prs.run(Out);
 }

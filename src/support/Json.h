@@ -1,10 +1,12 @@
 //===- support/Json.h - Minimal deterministic JSON emission -----*- C++ -*-===//
 //
 // A tiny insertion-ordered JSON document model for the machine-readable
-// bench output (BENCH_*.json). Writing, not parsing: the bench emits
-// documents and the determinism tests compare the rendered bytes, so the
-// renderer must be stable — keys keep insertion order, doubles always
-// format with %.17g, and indentation is fixed two-space.
+// bench output (BENCH_*.json). The renderer must be stable — the
+// determinism tests compare rendered bytes — so keys keep insertion
+// order, doubles always format with %.17g, and indentation is fixed
+// two-space. parse() is the inverse, added for flexvec-benchdiff: a
+// strict recursive-descent reader for the documents dump() produces
+// (and hand-edited baselines), reporting the byte offset on error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +51,37 @@ public:
 
   /// JSON string escaping of \p S (without surrounding quotes).
   static std::string escape(const std::string &S);
+
+  /// Parses \p Text into \p Out. Returns false and fills \p Err (message
+  /// plus byte offset) on malformed input. Numbers without '.', 'e', or a
+  /// leading '-' parse as UInt, negative integers as Int, the rest as
+  /// Double; duplicate object keys keep the last value, matching set().
+  static bool parse(const std::string &Text, Json &Out, std::string &Err);
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const {
+    return K == Kind::Int || K == Kind::UInt || K == Kind::Double;
+  }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  int64_t asInt() const;
+  uint64_t asUInt() const;
+  /// Numeric value widened to double (0.0 for non-numbers).
+  double asDouble() const;
+  const std::string &asString() const { return StringV; }
+
+  /// Member lookup on an object; null when absent or not an object.
+  const Json *find(const std::string &Key) const;
+  /// Array/object element count (0 for scalars).
+  size_t size() const;
+  const std::vector<Json> &elems() const { return Elems; }
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
 
 private:
   void render(std::string &Out, int Depth) const;

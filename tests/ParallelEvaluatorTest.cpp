@@ -17,6 +17,7 @@
 #include "core/CompileCache.h"
 #include "core/ParallelEvaluator.h"
 #include "ir/Parser.h"
+#include "obs/Metrics.h"
 #include "support/Hash.h"
 #include "support/ThreadPool.h"
 #include "workloads/Figure8.h"
@@ -220,6 +221,11 @@ void expectCellsIdentical(const core::SweepResult &A,
     EXPECT_EQ(X.Uops, Y.Uops) << X.Benchmark << "/" << X.Variant;
     EXPECT_EQ(X.HotSpeedup, Y.HotSpeedup) << X.Benchmark << "/" << X.Variant;
     EXPECT_EQ(X.Overall, Y.Overall) << X.Benchmark << "/" << X.Variant;
+    // Per-cell metrics are pure event counts: rendered without timers they
+    // must be byte-identical regardless of the worker schedule.
+    EXPECT_EQ(X.Metrics.toJson(/*IncludeTimers=*/false).dump(),
+              Y.Metrics.toJson(/*IncludeTimers=*/false).dump())
+        << X.Benchmark << "/" << X.Variant;
     // StageTimes are wall-clock and deliberately not compared.
   }
 }
@@ -284,12 +290,42 @@ TEST(SweepDeterminism, DeterministicJsonOmitsWallClockFields) {
   EXPECT_EQ(Det.find("wall_seconds"), std::string::npos);
   EXPECT_EQ(Det.find("stage_ms"), std::string::npos);
   EXPECT_EQ(Det.find("\"jobs\""), std::string::npos);
+  // Pipeline-observability fields are schedule-dependent: full payload
+  // only.
+  EXPECT_EQ(Det.find("single_flight_waits"), std::string::npos);
+  EXPECT_EQ(Det.find("peak_in_flight"), std::string::npos);
   EXPECT_NE(Full.find("wall_seconds"), std::string::npos);
   EXPECT_NE(Full.find("stage_ms"), std::string::npos);
+  EXPECT_NE(Full.find("single_flight_waits"), std::string::npos);
+  EXPECT_NE(Full.find("peak_in_flight"), std::string::npos);
   for (const char *Key :
        {"\"schema\"", "\"geomean_overall_speedup\"", "\"cells\"",
-        "\"cache\"", "\"seed\""})
+        "\"cache\"", "\"seed\"", "\"metrics\""})
     EXPECT_NE(Det.find(Key), std::string::npos) << Key;
+}
+
+TEST(SweepDeterminism, CellMetricsCoverEveryLayer) {
+  core::SweepResult R = workloads::runFigure8Sweep(sweepOpts(2, 1));
+  // The schema v2 contract: every generated cell carries the emu/rtm/sim
+  // metric families, and the sweep-level aggregate sums them.
+  std::string Det = core::benchJson(R, /*Deterministic=*/true).dump();
+  for (const char *Key :
+       {"\"emu.instructions\"", "\"emu.vpl.steps\"", "\"emu.mask_density\"",
+        "\"rtm.begins\"", "\"sim.cycles\"", "\"sim.mem.accesses\"",
+        "\"sim.ipc\""})
+    EXPECT_NE(Det.find(Key), std::string::npos) << Key;
+
+  uint64_t AggInstr = 0, CellInstrSum = 0;
+  for (const core::CellResult &Cell : R.Cells)
+    if (const obs::Counter *C = Cell.Metrics.findCounter("emu.instructions"))
+      CellInstrSum += C->value();
+  obs::Registry Totals;
+  for (const core::CellResult &Cell : R.Cells)
+    Totals.merge(Cell.Metrics);
+  ASSERT_NE(Totals.findCounter("emu.instructions"), nullptr);
+  AggInstr = Totals.findCounter("emu.instructions")->value();
+  EXPECT_EQ(AggInstr, CellInstrSum);
+  EXPECT_GT(AggInstr, 0u);
 }
 
 } // namespace

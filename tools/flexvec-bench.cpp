@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/Parser.h"
 #include "support/ArgParse.h"
 #include "support/Table.h"
 #include "workloads/Figure8.h"
@@ -104,8 +105,12 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Build the suite here (rather than through runFigure8Sweep) so a
+  // failing cell can be reported with its loop's DSL reproducer.
   core::CompileCache Cache;
-  core::SweepResult R = workloads::runFigure8Sweep(Opts.Sweep, &Cache);
+  workloads::Figure8Suite Suite =
+      workloads::buildFigure8Suite(Opts.Sweep.Scale);
+  core::SweepResult R = core::runSweep(Suite.Workloads, Opts.Sweep, &Cache);
 
   if (!Opts.Quiet) {
     std::printf("Figure 8 / Table 2 sweep: %zu cells, %u worker(s), "
@@ -136,11 +141,28 @@ int main(int Argc, char **Argv) {
   }
 
   // Any incorrect generated cell is a hard failure: the sweep's numbers
-  // are only meaningful when every program matched the reference.
+  // are only meaningful when every program matched the reference. Each
+  // failing cell is reported with the DSL form of its loop so the
+  // divergence can be replayed through flexvec-cli without rerunning the
+  // whole sweep.
   int Incorrect = 0;
-  for (const core::CellResult &Cell : R.Cells)
-    if (Cell.Generated && !Cell.Correct)
-      ++Incorrect;
+  for (const core::CellResult &Cell : R.Cells) {
+    if (!Cell.Generated || Cell.Correct)
+      continue;
+    ++Incorrect;
+    std::fprintf(stderr,
+                 "error: %s/%s diverged from the reference interpreter "
+                 "(seed=%llu, scale=%g)\n",
+                 Cell.Benchmark.c_str(), Cell.Variant.c_str(),
+                 static_cast<unsigned long long>(R.Seed), R.Scale);
+    for (const core::SweepWorkload &W : Suite.Workloads) {
+      if (W.Name != Cell.Benchmark || !W.F)
+        continue;
+      std::fprintf(stderr, "DSL reproducer:\n%s\n",
+                   ir::printLoopDsl(*W.F).c_str());
+      break;
+    }
+  }
   if (Incorrect)
     std::fprintf(stderr, "error: %d cell(s) diverged from the reference "
                          "interpreter\n", Incorrect);

@@ -1,0 +1,119 @@
+//===- tools/flexvec-benchdiff.cpp - Bench regression comparator ----------===//
+//
+// Compares two flexvec-bench JSON documents and fails on regression; the
+// CI bench-gate job runs this against the checked-in deterministic
+// baseline on every PR (see docs/OBSERVABILITY.md).
+//
+//   flexvec-benchdiff [options] baseline.json current.json
+//     --cycles-tolerance=PCT    max per-cell cycle growth (default 2)
+//     --geomean-tolerance=PCT   max geomean-speedup drop (default 2)
+//     --metric-threshold=NAME=PCT
+//                               fail when aggregate metric NAME grows by
+//                               more than PCT percent (repeatable)
+//     --quiet                   print regressions only, not drift notes
+//
+// Exit codes: 0 no regression, 1 regression, 2 unusable input (parse or
+// schema failure, different sweep configuration, bad usage).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchDiff.h"
+#include "support/ArgParse.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace flexvec;
+
+namespace {
+
+struct ToolOptions {
+  obs::BenchDiffOptions Diff;
+  std::string BaselinePath;
+  std::string CurrentPath;
+  bool Quiet = false;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(To,
+               "usage: flexvec-benchdiff [--cycles-tolerance=PCT] "
+               "[--geomean-tolerance=PCT] [--metric-threshold=NAME=PCT] "
+               "[--quiet] baseline.json current.json\n");
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
+  std::vector<std::string> Positional;
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    double D = 0;
+    if (Arg.rfind("--cycles-tolerance=", 0) == 0) {
+      if (!parseDouble(Arg.substr(19), D) || D < 0) {
+        std::fprintf(stderr, "error: --cycles-tolerance expects a "
+                             "non-negative percent, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Diff.CyclesTolerancePct = D;
+    } else if (Arg.rfind("--geomean-tolerance=", 0) == 0) {
+      if (!parseDouble(Arg.substr(20), D) || D < 0) {
+        std::fprintf(stderr, "error: --geomean-tolerance expects a "
+                             "non-negative percent, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Diff.GeomeanTolerancePct = D;
+    } else if (Arg.rfind("--metric-threshold=", 0) == 0) {
+      std::string Spec = Arg.substr(19);
+      size_t Eq = Spec.rfind('=');
+      if (Eq == std::string::npos || Eq == 0 ||
+          !parseDouble(Spec.substr(Eq + 1), D) || D < 0) {
+        std::fprintf(stderr, "error: --metric-threshold expects NAME=PCT, "
+                             "got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Diff.MetricThresholds.emplace_back(Spec.substr(0, Eq), D);
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  if (Positional.size() != 2) {
+    std::fprintf(stderr, "error: expected exactly two input files, got %zu\n",
+                 Positional.size());
+    return false;
+  }
+  Opts.BaselinePath = Positional[0];
+  Opts.CurrentPath = Positional[1];
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(stderr);
+    return 2;
+  }
+
+  obs::BenchDiffReport R =
+      obs::diffBenchFiles(Opts.BaselinePath, Opts.CurrentPath, Opts.Diff);
+
+  for (const std::string &Line : R.Regressions)
+    std::fprintf(stderr, "%s: %s\n", R.ExitCode == 2 ? "error" : "REGRESSION",
+                 Line.c_str());
+  if (!Opts.Quiet)
+    for (const std::string &Line : R.Notes)
+      std::printf("note: %s\n", Line.c_str());
+
+  if (R.ExitCode == 0)
+    std::printf("benchdiff: no regression (%s vs %s)\n",
+                Opts.BaselinePath.c_str(), Opts.CurrentPath.c_str());
+  else if (R.ExitCode == 1)
+    std::fprintf(stderr, "benchdiff: %zu regression(s)\n",
+                 R.Regressions.size());
+  return R.ExitCode;
+}
