@@ -110,6 +110,165 @@ void BM_MemoryClone(benchmark::State &State) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Hot-path attribution benchmarks (docs/PERFORMANCE.md): each of the
+// pipeline optimizations measured in isolation, so a regression in one
+// layer is visible without re-profiling the whole sweep.
+//===----------------------------------------------------------------------===//
+
+// Layer 1a, software TLB. Same-page accesses are the loop-workload common
+// case and must be served by the TLB, not the page-map tree walk; the
+// miss benchmark ping-pongs between two pages that collide in the
+// direct-mapped TLB (64 entries, so pages 0 and 64 share a slot), making
+// every lookup take the slow path. The hit/miss gap is the TLB's win.
+void BM_MemoryTlbHitLoad(benchmark::State &State) {
+  mem::Memory M;
+  M.map(0x10000, mem::PageSize);
+  uint64_t Accesses = 0;
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (uint64_t Off = 0; Off + 8 <= mem::PageSize; Off += 8) {
+      uint64_t V = 0;
+      M.readValue(0x10000 + Off, V);
+      Sum += V;
+    }
+    Accesses += mem::PageSize / 8;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.counters["loads/s"] = benchmark::Counter(
+      static_cast<double>(Accesses), benchmark::Counter::kIsRate);
+  State.counters["tlb-hit-rate"] =
+      static_cast<double>(M.stats().TlbHits) /
+      static_cast<double>(M.stats().TlbHits + M.stats().TlbMisses);
+}
+
+void BM_MemoryTlbMissLoad(benchmark::State &State) {
+  mem::Memory M;
+  M.map(0x10000, mem::PageSize);
+  M.map(0x10000 + 64 * mem::PageSize, mem::PageSize); // same TLB slot
+  uint64_t Accesses = 0;
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (unsigned I = 0; I < 256; ++I) {
+      uint64_t V = 0;
+      M.readValue(0x10000 + (I & 1) * 64 * mem::PageSize, V);
+      Sum += V;
+    }
+    Accesses += 256;
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.counters["loads/s"] = benchmark::Counter(
+      static_cast<double>(Accesses), benchmark::Counter::kIsRate);
+  State.counters["tlb-hit-rate"] =
+      static_cast<double>(M.stats().TlbHits) /
+      static_cast<double>(M.stats().TlbHits + M.stats().TlbMisses);
+}
+
+// Layer 1b, copy-on-write clones. clone() against the eager deepClone()
+// it replaced on the per-cell path; the COW side also pays the first
+// write per touched page, so both halves of the trade are visible.
+void BM_MemoryDeepClone(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  for (auto _ : State) {
+    mem::Memory M = Fx.In.Image.deepClone();
+    benchmark::DoNotOptimize(M.numPages());
+  }
+}
+
+void BM_MemoryCloneThenTouchAll(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Copies = 0;
+  for (auto _ : State) {
+    mem::Memory M = Fx.In.Image.clone();
+    // Touch one word per mapped data page (worst case for COW). The image
+    // is laid out from 0x10000 upward with one unmapped guard page per
+    // allocation, so scanning twice the mapped span covers every page;
+    // reads of guard pages fault and are skipped.
+    uint64_t End = 0x10000 + 2 * Fx.In.Image.numPages() * mem::PageSize;
+    for (uint64_t A = 0x10000; A < End; A += mem::PageSize) {
+      uint64_t V = 0;
+      if (M.readValue(A, V).Ok)
+        M.writeValue(A, V + 1);
+    }
+    Copies += M.stats().CowCopies;
+    benchmark::DoNotOptimize(M.numPages());
+  }
+  State.counters["cow-copies"] =
+      static_cast<double>(Copies) / static_cast<double>(State.iterations());
+}
+
+// Layer 2, pre-decoded dispatch. Plan construction runs once per
+// Machine::run; BM_EmulatorScalar/FlexVec above measure the resulting
+// steady-state dispatch throughput. This pins the predecode + setup cost
+// alone by stopping the run after a single retired instruction.
+void BM_PredecodeAndSetup(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  for (auto _ : State) {
+    core::RunOutcome Out =
+        core::runProgram(Fx.PR.Scalar, Fx.In.Image, Fx.In.B, nullptr,
+                         /*MaxInstructions=*/1);
+    benchmark::DoNotOptimize(Out.Exec.Stats.Instructions);
+  }
+}
+
+// Layer 3, trace delivery. The same run fed to a sink that only
+// implements onInstr (every record goes through the compatibility shim —
+// one virtual call per retired instruction, the legacy cost model) versus
+// a batch-native sink (one virtual call per 64-entry batch).
+struct PerInstrCountingSink final : emu::TraceSink {
+  uint64_t Records = 0;
+  void onInstr(const emu::DynInstr &DI) override {
+    Records += 1 + DI.NumMemAddrs;
+  }
+};
+
+struct BatchCountingSink final : emu::TraceSink {
+  uint64_t Records = 0;
+  void onInstr(const emu::DynInstr &DI) override {
+    Records += 1 + DI.NumMemAddrs;
+  }
+  void onBatch(const emu::DynInstr *Batch, size_t N) override {
+    for (size_t I = 0; I < N; ++I)
+      Records += 1 + Batch[I].NumMemAddrs;
+  }
+};
+
+template <typename SinkT>
+void runTraceDelivery(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    SinkT Sink;
+    core::RunOutcome Out =
+        core::runProgram(*Fx.PR.FlexVec, Fx.In.Image, Fx.In.B, &Sink);
+    Instrs += Out.Exec.Stats.Instructions;
+    benchmark::DoNotOptimize(Sink.Records);
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+
+void BM_TraceDeliveryPerInstr(benchmark::State &State) {
+  runTraceDelivery<PerInstrCountingSink>(State);
+}
+
+void BM_TraceDeliveryBatched(benchmark::State &State) {
+  runTraceDelivery<BatchCountingSink>(State);
+}
+
+void BM_TraceDeliveryNoSink(benchmark::State &State) {
+  Fixture &Fx = fixture();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    core::RunOutcome Out =
+        core::runProgram(*Fx.PR.FlexVec, Fx.In.Image, Fx.In.B);
+    Instrs += Out.Exec.Stats.Instructions;
+    benchmark::DoNotOptimize(Out.MemFingerprint);
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_EmulatorScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EmulatorFlexVec)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EmulatorPlusTimingModel)->Unit(benchmark::kMillisecond);
@@ -117,6 +276,14 @@ BENCHMARK(BM_ReferenceInterpreter)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PdgAndAnalysis)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_MemoryClone)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryTlbHitLoad)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryTlbMissLoad)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryDeepClone)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MemoryCloneThenTouchAll)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PredecodeAndSetup)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TraceDeliveryNoSink)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceDeliveryPerInstr)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceDeliveryBatched)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

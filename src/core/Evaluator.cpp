@@ -24,6 +24,7 @@ RunOutcome core::runProgram(const codegen::CompiledLoop &CL,
   Limits.MaxInstructions = MaxInstructions;
   Out.Exec = Machine.run(CL.Prog, Limits, Sink);
   Out.Tx = Machine.txStats();
+  Out.Mem = M.stats();
   Out.Ok = Out.Exec.Reason == emu::StopReason::Halted;
   if (!Out.Ok)
     Out.Error = Out.Exec.describe();
@@ -99,6 +100,7 @@ RunOutcome core::runProgramMulti(const LoopFunction &F,
     Out.LiveOutHash = foldLiveOuts(F, Out.LiveOutHash, Out.LiveOuts);
   }
   Out.Tx = Machine.txStats();
+  Out.Mem = M.stats();
   Out.MemFingerprint = M.fingerprint();
   return Out;
 }

@@ -26,6 +26,7 @@ struct RunOutcome {
   bool Ok = false; ///< Ran to completion (Halt / interpreter return).
   emu::ExecResult Exec;           ///< Machine runs only.
   rtm::TxStats Tx;                ///< Transaction-unit stats (machine runs).
+  mem::MemoryStats Mem;           ///< Image TLB/COW stats (machine runs).
   uint64_t MemFingerprint = 0;    ///< Final memory image digest.
   std::vector<int64_t> LiveOuts;  ///< Raw live-out scalar values, in
                                   ///< scalar-parameter order.

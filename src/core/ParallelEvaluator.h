@@ -101,6 +101,9 @@ struct CellResult {
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
   uint64_t Uops = 0;
+  /// Instructions retired by the functional emulator for the variant run
+  /// (deterministic; feeds the schedule-dependent throughput gauges).
+  uint64_t EmuInstructions = 0;
   double HotSpeedup = 0;  ///< Scalar cycles / this variant's cycles.
   double Overall = 0;     ///< Coverage-scaled (Section 5) speedup.
   double Coverage = 0;

@@ -16,6 +16,13 @@ using namespace flexvec::isa;
 
 TraceSink::~TraceSink() = default;
 
+void TraceSink::onBatch(const DynInstr *Batch, size_t N) {
+  // Compatibility shim: sinks that predate batching observe the exact
+  // per-instruction stream they always did.
+  for (size_t I = 0; I < N; ++I)
+    onInstr(Batch[I]);
+}
+
 const char *emu::stopReasonName(StopReason R) {
   switch (R) {
   case StopReason::Halted:
@@ -37,6 +44,7 @@ void ExecStats::merge(const ExecStats &O) {
   RtmRetries += O.RtmRetries;
   RtmFallbacks += O.RtmFallbacks;
   BackoffCycles += O.BackoffCycles;
+  TraceBatches += O.TraceBatches;
   VplSteps += O.VplSteps;
   VplPartitions += O.VplPartitions;
   FFClips += O.FFClips;
@@ -182,11 +190,50 @@ void Machine::resetRegisters() {
   Faulted = false;
 }
 
-uint64_t Machine::effectiveMask(const Instruction &I) const {
-  uint64_t AllLanes = lowBitMask(lanesFor(I.Type));
-  if (!I.MaskReg.isValid() || I.MaskReg.Index == 0)
-    return AllLanes;
-  return K[I.MaskReg.Index] & AllLanes;
+void Machine::predecode(const Program &P) {
+  Plan.clear();
+  Plan.reserve(P.size());
+  for (size_t Idx = 0; Idx < P.size(); ++Idx) {
+    const Instruction &I = P[Idx];
+    DecodedInstr D;
+    D.Op = I.Op;
+    D.Type = I.Type;
+    D.Cond = I.Cond;
+    D.ES = static_cast<uint8_t>(elemSize(I.Type));
+    D.Lanes = static_cast<uint8_t>(lanesFor(I.Type));
+    D.Dst = I.Dst.Index;
+    D.Src1 = I.Src1.Index;
+    D.Src2 = I.Src2.Index;
+    D.Src3 = I.Src3.Index;
+    // k0 (or no mask register) enables all lanes of the element type.
+    D.EffMask = (!I.MaskReg.isValid() || I.MaskReg.Index == 0)
+                    ? NoEffMask
+                    : I.MaskReg.Index;
+    D.Scale = I.Scale;
+    D.Flags = static_cast<uint8_t>((I.isBranch() ? FlagBranch : 0) |
+                                   (I.isVector() ? FlagVector : 0) |
+                                   (I.Src2.isValid() ? FlagSrc2Valid : 0) |
+                                   (I.isMemory() ? FlagMemory : 0));
+    D.AllMask = lowBitMask(D.Lanes);
+    D.Imm = I.Imm;
+    D.Disp = I.Disp;
+    D.Target = I.Target;
+    Plan.push_back(D);
+  }
+}
+
+void Machine::flushBatch(TraceSink *Sink, ExecStats &Stats) {
+  if (BatchLen == 0)
+    return;
+  // Fix up the address-pool pointers now: the pool may have reallocated
+  // while the batch filled, so offsets were recorded instead.
+  for (size_t I = 0; I < BatchLen; ++I)
+    Batch[I].MemAddrs =
+        Batch[I].NumMemAddrs ? AddrPool.data() + BatchAddrOff[I] : nullptr;
+  Sink->onBatch(Batch.data(), BatchLen);
+  ++Stats.TraceBatches;
+  BatchLen = 0;
+  AddrPool.clear();
 }
 
 bool Machine::memRead(uint64_t Addr, void *Out, uint64_t Size) {
@@ -345,7 +392,14 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
   if (P.empty())
     return Result;
 
-  std::vector<uint64_t> AddrScratch;
+  // Decode once into the dense plan; the dynamic loop below never touches
+  // the (string-carrying) isa::Instruction records again except to hand
+  // trace consumers their static-instruction pointer.
+  predecode(P);
+  const bool Collect = Sink != nullptr;
+  AddrPool.clear();
+  BatchLen = 0;
+
   uint32_t PC = 0;
 
   // Resilience-policy state for this run.
@@ -365,64 +419,79 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       Result.FaultPC = PC;
       Result.FaultOp = PC < P.size() ? P[PC].Op : isa::Opcode::Nop;
       Result.FaultAddr = LastFault;
+      if (Sink)
+        flushBatch(Sink, Stats);
       return Result;
     }
-    assert(PC < P.size() && "program counter out of range");
-    const Instruction &I = P[PC];
+    assert(PC < Plan.size() && "program counter out of range");
+    const DecodedInstr &D = Plan[PC];
     uint32_t NextPC = PC + 1;
     bool Taken = false;
     uint64_t ActiveMask = 0;
-    unsigned AccessSize = 0;
-    AddrScratch.clear();
+    // Effective addresses are counted always (for Stats.MemoryAccesses)
+    // but only materialized into the pool when a sink will consume them.
+    uint32_t AddrStart = static_cast<uint32_t>(AddrPool.size());
+    uint32_t AddrCount = 0;
+    auto pushAddr = [&](uint64_t A) {
+      ++AddrCount;
+      if (Collect)
+        AddrPool.push_back(A);
+    };
     Faulted = false;
     TxAborted = false;
 
-    unsigned ES = elemSize(I.Type);
-    unsigned Lanes = lanesFor(I.Type);
+    unsigned ES = D.ES;
+    unsigned Lanes = D.Lanes;
 
+    /// Resolved write mask: k0 (or no mask) enables all lanes.
+    auto effMask = [&]() {
+      return D.EffMask == NoEffMask ? D.AllMask : (K[D.EffMask] & D.AllMask);
+    };
     // Effective scalar address for scalar/contiguous-vector memory ops.
     auto scalarAddr = [&]() {
-      uint64_t A = static_cast<uint64_t>(R[I.Src1.Index]) + I.Disp;
-      if (I.Src2.isValid())
-        A += static_cast<uint64_t>(R[I.Src2.Index]) * I.Scale;
+      uint64_t A = static_cast<uint64_t>(R[D.Src1]) + D.Disp;
+      if (D.Flags & FlagSrc2Valid)
+        A += static_cast<uint64_t>(R[D.Src2]) * D.Scale;
       return A;
     };
     // Effective address for lane L of a gather/scatter.
     auto gatherAddr = [&](unsigned L) {
-      return static_cast<uint64_t>(R[I.Src1.Index]) +
-             static_cast<uint64_t>(V[I.Src2.Index].laneInt(I.Type, L)) *
-                 I.Scale +
-             I.Disp;
+      return static_cast<uint64_t>(R[D.Src1]) +
+             static_cast<uint64_t>(V[D.Src2].laneInt(D.Type, L)) * D.Scale +
+             D.Disp;
     };
 
-    switch (I.Op) {
+    switch (D.Op) {
     case Opcode::Halt:
       ++Stats.Instructions;
-      ++Stats.OpcodeCounts[static_cast<unsigned>(I.Op)];
+      ++Stats.OpcodeCounts[static_cast<unsigned>(D.Op)];
+      // Halt itself is never delivered to the sink; drain what precedes it.
+      if (Sink)
+        flushBatch(Sink, Stats);
       Result.Reason = StopReason::Halted;
       return Result;
     case Opcode::Nop:
       break;
     case Opcode::Jmp:
       Taken = true;
-      NextPC = static_cast<uint32_t>(I.Target);
+      NextPC = static_cast<uint32_t>(D.Target);
       break;
     case Opcode::BrZero:
-      Taken = R[I.Src1.Index] == 0;
+      Taken = R[D.Src1] == 0;
       if (Taken)
-        NextPC = static_cast<uint32_t>(I.Target);
+        NextPC = static_cast<uint32_t>(D.Target);
       break;
     case Opcode::BrNonZero:
-      Taken = R[I.Src1.Index] != 0;
+      Taken = R[D.Src1] != 0;
       if (Taken)
-        NextPC = static_cast<uint32_t>(I.Target);
+        NextPC = static_cast<uint32_t>(D.Target);
       break;
 
     case Opcode::MovImm:
-      R[I.Dst.Index] = I.Imm;
+      R[D.Dst] = D.Imm;
       break;
     case Opcode::Mov:
-      R[I.Dst.Index] = R[I.Src1.Index];
+      R[D.Dst] = R[D.Src1];
       break;
     case Opcode::Add:
     case Opcode::Sub:
@@ -435,38 +504,35 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
     case Opcode::Shr:
     case Opcode::Min:
     case Opcode::Max:
-      R[I.Dst.Index] =
-          applyScalarIntOp(I.Op, R[I.Src1.Index], R[I.Src2.Index]);
+      R[D.Dst] = applyScalarIntOp(D.Op, R[D.Src1], R[D.Src2]);
       break;
     case Opcode::AddImm:
-      R[I.Dst.Index] = applyScalarIntOp(Opcode::Add, R[I.Src1.Index], I.Imm);
+      R[D.Dst] = applyScalarIntOp(Opcode::Add, R[D.Src1], D.Imm);
       break;
     case Opcode::MulImm:
-      R[I.Dst.Index] = applyScalarIntOp(Opcode::Mul, R[I.Src1.Index], I.Imm);
+      R[D.Dst] = applyScalarIntOp(Opcode::Mul, R[D.Src1], D.Imm);
       break;
     case Opcode::AndImm:
-      R[I.Dst.Index] = R[I.Src1.Index] & I.Imm;
+      R[D.Dst] = R[D.Src1] & D.Imm;
       break;
     case Opcode::ShlImm:
-      R[I.Dst.Index] = applyScalarIntOp(Opcode::Shl, R[I.Src1.Index], I.Imm);
+      R[D.Dst] = applyScalarIntOp(Opcode::Shl, R[D.Src1], D.Imm);
       break;
     case Opcode::ShrImm:
-      R[I.Dst.Index] = applyScalarIntOp(Opcode::Shr, R[I.Src1.Index], I.Imm);
+      R[D.Dst] = applyScalarIntOp(Opcode::Shr, R[D.Src1], D.Imm);
       break;
     case Opcode::Cmp:
-      R[I.Dst.Index] =
-          evalCmp(I.Cond, R[I.Src1.Index], R[I.Src2.Index]) ? 1 : 0;
+      R[D.Dst] = evalCmp(D.Cond, R[D.Src1], R[D.Src2]) ? 1 : 0;
       break;
     case Opcode::CmpImm:
-      R[I.Dst.Index] = evalCmp(I.Cond, R[I.Src1.Index], I.Imm) ? 1 : 0;
+      R[D.Dst] = evalCmp(D.Cond, R[D.Src1], D.Imm) ? 1 : 0;
       break;
     case Opcode::Select:
-      R[I.Dst.Index] =
-          R[I.Src1.Index] != 0 ? R[I.Src2.Index] : R[I.Src3.Index];
+      R[D.Dst] = R[D.Src1] != 0 ? R[D.Src2] : R[D.Src3];
       break;
 
     case Opcode::FMovImm:
-      R[I.Dst.Index] = I.Imm;
+      R[D.Dst] = D.Imm;
       break;
     case Opcode::FAdd:
     case Opcode::FSub:
@@ -474,85 +540,81 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
     case Opcode::FDiv:
     case Opcode::FMin:
     case Opcode::FMax: {
-      if (I.Type == ElemType::F32) {
-        float A = getScalarF32(I.Src1.Index);
-        float B = getScalarF32(I.Src2.Index);
-        setScalarF32(I.Dst.Index,
-                     static_cast<float>(applyScalarFpOp(I.Op, A, B)));
+      if (D.Type == ElemType::F32) {
+        float A = getScalarF32(D.Src1);
+        float B = getScalarF32(D.Src2);
+        setScalarF32(D.Dst, static_cast<float>(applyScalarFpOp(D.Op, A, B)));
       } else {
-        setScalarF64(I.Dst.Index,
-                     applyScalarFpOp(I.Op, getScalarF64(I.Src1.Index),
-                                     getScalarF64(I.Src2.Index)));
+        setScalarF64(D.Dst, applyScalarFpOp(D.Op, getScalarF64(D.Src1),
+                                            getScalarF64(D.Src2)));
       }
       break;
     }
     case Opcode::FCmp: {
       double A, B;
-      if (I.Type == ElemType::F32) {
-        A = getScalarF32(I.Src1.Index);
-        B = getScalarF32(I.Src2.Index);
+      if (D.Type == ElemType::F32) {
+        A = getScalarF32(D.Src1);
+        B = getScalarF32(D.Src2);
       } else {
-        A = getScalarF64(I.Src1.Index);
-        B = getScalarF64(I.Src2.Index);
+        A = getScalarF64(D.Src1);
+        B = getScalarF64(D.Src2);
       }
-      R[I.Dst.Index] = evalCmp(I.Cond, A, B) ? 1 : 0;
+      R[D.Dst] = evalCmp(D.Cond, A, B) ? 1 : 0;
       break;
     }
 
     case Opcode::Load: {
       uint64_t Addr = scalarAddr();
-      AccessSize = ES;
-      AddrScratch.push_back(Addr);
+      pushAddr(Addr);
       if (ES == 4) {
         uint32_t Raw;
         if (!memRead(Addr, &Raw, 4))
           break;
-        R[I.Dst.Index] = I.Type == ElemType::I32
-                             ? static_cast<int64_t>(static_cast<int32_t>(Raw))
-                             : static_cast<int64_t>(Raw);
+        R[D.Dst] = D.Type == ElemType::I32
+                       ? static_cast<int64_t>(static_cast<int32_t>(Raw))
+                       : static_cast<int64_t>(Raw);
       } else {
         int64_t Raw;
         if (!memRead(Addr, &Raw, 8))
           break;
-        R[I.Dst.Index] = Raw;
+        R[D.Dst] = Raw;
       }
       break;
     }
     case Opcode::Store: {
       uint64_t Addr = scalarAddr();
-      AccessSize = ES;
-      AddrScratch.push_back(Addr);
+      pushAddr(Addr);
       if (ES == 4) {
-        uint32_t Raw = static_cast<uint32_t>(R[I.Src3.Index]);
+        uint32_t Raw = static_cast<uint32_t>(R[D.Src3]);
         memWrite(Addr, &Raw, 4);
       } else {
-        int64_t Raw = R[I.Src3.Index];
+        int64_t Raw = R[D.Src3];
         memWrite(Addr, &Raw, 8);
       }
       break;
     }
 
     case Opcode::VBroadcast: {
-      ActiveMask = effectiveMask(I);
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
         if (testBit(ActiveMask, L))
-          D.setLaneInt(I.Type, L, R[I.Src1.Index]);
+          Dv.setLaneInt(D.Type, L, R[D.Src1]);
       break;
     }
     case Opcode::VBroadcastImm: {
-      ActiveMask = effectiveMask(I);
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
         if (testBit(ActiveMask, L))
-          D.setLaneInt(I.Type, L, I.Imm);
+          Dv.setLaneInt(D.Type, L, D.Imm);
       break;
     }
     case Opcode::VIndex: {
-      ActiveMask = lowBitMask(Lanes);
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = D.AllMask;
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
-        D.setLaneInt(I.Type, L, R[I.Src1.Index] + L);
+        Dv.setLaneInt(D.Type, L, R[D.Src1] + L);
       break;
     }
     case Opcode::VAdd:
@@ -563,28 +625,28 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
     case Opcode::VXor:
     case Opcode::VMin:
     case Opcode::VMax: {
-      ActiveMask = effectiveMask(I);
-      const VecReg A = V[I.Src1.Index];
-      const VecReg B = V[I.Src2.Index];
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      const VecReg A = V[D.Src1];
+      const VecReg B = V[D.Src2];
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
         if (testBit(ActiveMask, L))
-          D.setLaneInt(I.Type, L,
-                       applyVectorIntOp(I.Op, I.Type, A.laneInt(I.Type, L),
-                                        B.laneInt(I.Type, L)));
+          Dv.setLaneInt(D.Type, L,
+                        applyVectorIntOp(D.Op, D.Type, A.laneInt(D.Type, L),
+                                         B.laneInt(D.Type, L)));
       break;
     }
     case Opcode::VAddImm:
     case Opcode::VMulImm:
     case Opcode::VShlImm: {
-      ActiveMask = effectiveMask(I);
-      const VecReg A = V[I.Src1.Index];
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      const VecReg A = V[D.Src1];
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
         if (testBit(ActiveMask, L))
-          D.setLaneInt(I.Type, L,
-                       applyVectorIntOp(I.Op, I.Type, A.laneInt(I.Type, L),
-                                        I.Imm));
+          Dv.setLaneInt(D.Type, L,
+                        applyVectorIntOp(D.Op, D.Type, A.laneInt(D.Type, L),
+                                         D.Imm));
       break;
     }
     case Opcode::VFAdd:
@@ -593,179 +655,173 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
     case Opcode::VFDiv:
     case Opcode::VFMin:
     case Opcode::VFMax: {
-      ActiveMask = effectiveMask(I);
-      const VecReg A = V[I.Src1.Index];
-      const VecReg B = V[I.Src2.Index];
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      const VecReg A = V[D.Src1];
+      const VecReg B = V[D.Src2];
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
         if (testBit(ActiveMask, L))
-          D.setLaneFloat(I.Type, L,
-                         applyVectorFpOp(I.Op, A.laneFloat(I.Type, L),
-                                         B.laneFloat(I.Type, L)));
+          Dv.setLaneFloat(D.Type, L,
+                          applyVectorFpOp(D.Op, A.laneFloat(D.Type, L),
+                                          B.laneFloat(D.Type, L)));
       break;
     }
     case Opcode::VCmp:
     case Opcode::VCmpImm: {
-      ActiveMask = effectiveMask(I);
-      const VecReg A = V[I.Src1.Index];
+      ActiveMask = effMask();
+      const VecReg A = V[D.Src1];
       uint64_t Out = 0;
       for (unsigned L = 0; L < Lanes; ++L) {
         if (!testBit(ActiveMask, L))
           continue;
         bool Bit;
-        if (isFloatType(I.Type)) {
-          double BVal = I.Op == Opcode::VCmp
-                            ? V[I.Src2.Index].laneFloat(I.Type, L)
-                            : static_cast<double>(I.Imm);
-          Bit = evalCmp(I.Cond, A.laneFloat(I.Type, L), BVal);
+        if (isFloatType(D.Type)) {
+          double BVal = D.Op == Opcode::VCmp ? V[D.Src2].laneFloat(D.Type, L)
+                                             : static_cast<double>(D.Imm);
+          Bit = evalCmp(D.Cond, A.laneFloat(D.Type, L), BVal);
         } else {
-          int64_t BVal = I.Op == Opcode::VCmp
-                             ? V[I.Src2.Index].laneInt(I.Type, L)
-                             : I.Imm;
-          Bit = evalCmp(I.Cond, A.laneInt(I.Type, L), BVal);
+          int64_t BVal =
+              D.Op == Opcode::VCmp ? V[D.Src2].laneInt(D.Type, L) : D.Imm;
+          Bit = evalCmp(D.Cond, A.laneInt(D.Type, L), BVal);
         }
         if (Bit)
           Out |= 1ULL << L;
       }
-      K[I.Dst.Index] = Out;
+      K[D.Dst] = Out;
       break;
     }
     case Opcode::VBlend: {
-      ActiveMask = effectiveMask(I);
-      const VecReg A = V[I.Src1.Index];
-      const VecReg B = V[I.Src2.Index];
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      const VecReg A = V[D.Src1];
+      const VecReg B = V[D.Src2];
+      VecReg &Dv = V[D.Dst];
       for (unsigned L = 0; L < Lanes; ++L)
-        D.setLaneInt(I.Type, L,
-                     testBit(ActiveMask, L) ? A.laneInt(I.Type, L)
-                                            : B.laneInt(I.Type, L));
+        Dv.setLaneInt(D.Type, L,
+                      testBit(ActiveMask, L) ? A.laneInt(D.Type, L)
+                                             : B.laneInt(D.Type, L));
       break;
     }
     case Opcode::VExtractLast:
     case Opcode::VSlctLast: {
-      ActiveMask = effectiveMask(I);
-      const VecReg S = V[I.Src1.Index];
+      ActiveMask = effMask();
+      const VecReg S = V[D.Src1];
       unsigned Lane = Lanes - 1;
-      uint64_t Enabled = ActiveMask & lowBitMask(Lanes);
+      uint64_t Enabled = ActiveMask & D.AllMask;
       if (Enabled != 0)
         Lane = 63 - static_cast<unsigned>(std::countl_zero(Enabled));
-      int64_t Value = S.laneInt(I.Type, Lane);
-      if (I.Op == Opcode::VExtractLast) {
-        R[I.Dst.Index] = Value;
+      int64_t Value = S.laneInt(D.Type, Lane);
+      if (D.Op == Opcode::VExtractLast) {
+        R[D.Dst] = Value;
       } else {
-        VecReg &D = V[I.Dst.Index];
+        VecReg &Dv = V[D.Dst];
         for (unsigned L = 0; L < Lanes; ++L)
-          D.setLaneInt(I.Type, L, Value);
+          Dv.setLaneInt(D.Type, L, Value);
       }
       break;
     }
     case Opcode::VReduceAdd:
     case Opcode::VReduceMin:
     case Opcode::VReduceMax: {
-      ActiveMask = effectiveMask(I);
-      const VecReg S = V[I.Src1.Index];
-      if (isFloatType(I.Type)) {
-        double Acc = I.Type == ElemType::F32
-                         ? static_cast<double>(getScalarF32(I.Src2.Index))
-                         : getScalarF64(I.Src2.Index);
+      ActiveMask = effMask();
+      const VecReg S = V[D.Src1];
+      if (isFloatType(D.Type)) {
+        double Acc = D.Type == ElemType::F32
+                         ? static_cast<double>(getScalarF32(D.Src2))
+                         : getScalarF64(D.Src2);
         for (unsigned L = 0; L < Lanes; ++L) {
           if (!testBit(ActiveMask, L))
             continue;
-          double X = S.laneFloat(I.Type, L);
-          if (I.Op == Opcode::VReduceAdd)
+          double X = S.laneFloat(D.Type, L);
+          if (D.Op == Opcode::VReduceAdd)
             Acc += X;
-          else if (I.Op == Opcode::VReduceMin)
+          else if (D.Op == Opcode::VReduceMin)
             Acc = std::min(Acc, X);
           else
             Acc = std::max(Acc, X);
         }
-        if (I.Type == ElemType::F32)
-          setScalarF32(I.Dst.Index, static_cast<float>(Acc));
+        if (D.Type == ElemType::F32)
+          setScalarF32(D.Dst, static_cast<float>(Acc));
         else
-          setScalarF64(I.Dst.Index, Acc);
+          setScalarF64(D.Dst, Acc);
       } else {
-        int64_t Acc = R[I.Src2.Index];
+        int64_t Acc = R[D.Src2];
         for (unsigned L = 0; L < Lanes; ++L) {
           if (!testBit(ActiveMask, L))
             continue;
-          int64_t X = S.laneInt(I.Type, L);
-          if (I.Op == Opcode::VReduceAdd)
+          int64_t X = S.laneInt(D.Type, L);
+          if (D.Op == Opcode::VReduceAdd)
             Acc = static_cast<int64_t>(static_cast<uint64_t>(Acc) +
                                        static_cast<uint64_t>(X));
-          else if (I.Op == Opcode::VReduceMin)
+          else if (D.Op == Opcode::VReduceMin)
             Acc = std::min(Acc, X);
           else
             Acc = std::max(Acc, X);
         }
-        R[I.Dst.Index] = Acc;
+        R[D.Dst] = Acc;
       }
       break;
     }
 
     case Opcode::VLoad: {
-      ActiveMask = effectiveMask(I);
-      AccessSize = ES;
+      ActiveMask = effMask();
       uint64_t Base = scalarAddr();
-      VecReg &D = V[I.Dst.Index];
+      VecReg &Dv = V[D.Dst];
       bool Stop = false;
       for (unsigned L = 0; L < Lanes && !Stop; ++L) {
         if (!testBit(ActiveMask, L))
           continue;
         uint64_t Addr = Base + static_cast<uint64_t>(L) * ES;
-        AddrScratch.push_back(Addr);
+        pushAddr(Addr);
         int64_t Raw = 0;
         if (!memRead(Addr, &Raw, ES)) {
           Stop = true;
           break;
         }
-        if (ES == 4 && I.Type == ElemType::I32)
+        if (ES == 4 && D.Type == ElemType::I32)
           Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
-        D.setLaneInt(I.Type, L, Raw);
+        Dv.setLaneInt(D.Type, L, Raw);
       }
       break;
     }
     case Opcode::VStore: {
-      ActiveMask = effectiveMask(I);
-      AccessSize = ES;
+      ActiveMask = effMask();
       uint64_t Base = scalarAddr();
-      const VecReg S = V[I.Src3.Index];
+      const VecReg S = V[D.Src3];
       bool Stop = false;
       for (unsigned L = 0; L < Lanes && !Stop; ++L) {
         if (!testBit(ActiveMask, L))
           continue;
         uint64_t Addr = Base + static_cast<uint64_t>(L) * ES;
-        AddrScratch.push_back(Addr);
-        int64_t Raw = S.laneInt(I.Type, L);
+        pushAddr(Addr);
+        int64_t Raw = S.laneInt(D.Type, L);
         if (!memWrite(Addr, &Raw, ES))
           Stop = true;
       }
       break;
     }
     case Opcode::VGather: {
-      ActiveMask = effectiveMask(I);
-      AccessSize = ES;
-      VecReg &D = V[I.Dst.Index];
+      ActiveMask = effMask();
+      VecReg &Dv = V[D.Dst];
       bool Stop = false;
       for (unsigned L = 0; L < Lanes && !Stop; ++L) {
         if (!testBit(ActiveMask, L))
           continue;
         uint64_t Addr = gatherAddr(L);
-        AddrScratch.push_back(Addr);
+        pushAddr(Addr);
         int64_t Raw = 0;
         if (!memRead(Addr, &Raw, ES)) {
           Stop = true;
           break;
         }
-        if (ES == 4 && I.Type == ElemType::I32)
+        if (ES == 4 && D.Type == ElemType::I32)
           Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
-        D.setLaneInt(I.Type, L, Raw);
+        Dv.setLaneInt(D.Type, L, Raw);
       }
       break;
     }
     case Opcode::VScatter: {
-      ActiveMask = effectiveMask(I);
-      AccessSize = ES;
-      const VecReg S = V[I.Src3.Index];
+      ActiveMask = effMask();
+      const VecReg S = V[D.Src3];
       bool Stop = false;
       // Lanes are stored in increasing order so that a later lane's store to
       // the same address wins, matching scalar iteration order.
@@ -773,8 +829,8 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
         if (!testBit(ActiveMask, L))
           continue;
         uint64_t Addr = gatherAddr(L);
-        AddrScratch.push_back(Addr);
-        int64_t Raw = S.laneInt(I.Type, L);
+        pushAddr(Addr);
+        int64_t Raw = S.laneInt(D.Type, L);
         if (!memWrite(Addr, &Raw, ES))
           Stop = true;
       }
@@ -787,19 +843,18 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       // enabled element is non-speculative and faults architecturally; a
       // fault on any later enabled element zeroes the write mask from that
       // lane rightward and suppresses the exception.
-      assert(I.MaskReg.isValid() && I.MaskReg.Index != 0 &&
+      assert(D.EffMask != NoEffMask &&
              "first-faulting ops require a writable mask");
-      uint64_t Mask = K[I.MaskReg.Index] & lowBitMask(Lanes);
+      uint64_t Mask = K[D.EffMask] & D.AllMask;
       ActiveMask = Mask;
-      AccessSize = ES;
-      VecReg &D = V[I.Dst.Index];
+      VecReg &Dv = V[D.Dst];
       uint64_t Base =
-          I.Op == Opcode::VMovFF ? scalarAddr() : 0; // gather uses per-lane
+          D.Op == Opcode::VMovFF ? scalarAddr() : 0; // gather uses per-lane
       bool SeenNonSpec = false;
       for (unsigned L = 0; L < Lanes; ++L) {
         if (!testBit(Mask, L))
           continue;
-        uint64_t Addr = I.Op == Opcode::VMovFF
+        uint64_t Addr = D.Op == Opcode::VMovFF
                             ? Base + static_cast<uint64_t>(L) * ES
                             : gatherAddr(L);
         int64_t Raw = 0;
@@ -814,14 +869,14 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
             // Speculative fault: clip the write mask from this lane on.
             ++Stats.FFClips;
             Stats.FFSuppressedLanes += popcount(Mask & ~lowBitMask(L));
-            K[I.MaskReg.Index] &= lowBitMask(L);
+            K[D.EffMask] &= lowBitMask(L);
           }
           break;
         }
-        AddrScratch.push_back(Addr);
-        if (ES == 4 && I.Type == ElemType::I32)
+        pushAddr(Addr);
+        if (ES == 4 && D.Type == ElemType::I32)
           Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
-        D.setLaneInt(I.Type, L, Raw);
+        Dv.setLaneInt(D.Type, L, Raw);
         SeenNonSpec = true;
       }
       break;
@@ -829,18 +884,18 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
 
     case Opcode::VConflictM: {
       // Section 3.6: serialization points restart the comparison window.
-      assert(!isFloatType(I.Type) && "conflict detection is on indices");
-      uint64_t Enable = effectiveMask(I);
-      const VecReg &V1 = V[I.Src1.Index];
-      const VecReg &V2 = V[I.Src2.Index];
+      assert(!isFloatType(D.Type) && "conflict detection is on indices");
+      uint64_t Enable = effMask();
+      const VecReg &V1 = V[D.Src1];
+      const VecReg &V2 = V[D.Src2];
       uint64_t Out = 0;
       unsigned WindowStart = 0;
       for (unsigned J = 0; J < Lanes; ++J) {
-        int64_t Needle = V1.laneInt(I.Type, J);
-        for (unsigned P = WindowStart; P < J; ++P) {
-          if (!testBit(Enable, P))
+        int64_t Needle = V1.laneInt(D.Type, J);
+        for (unsigned Prev = WindowStart; Prev < J; ++Prev) {
+          if (!testBit(Enable, Prev))
             continue;
-          if (V2.laneInt(I.Type, P) == Needle) {
+          if (V2.laneInt(D.Type, Prev) == Needle) {
             Out |= 1ULL << J;
             WindowStart = J;
             break;
@@ -849,7 +904,7 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       }
       ++Stats.ConflictChecks;
       Stats.ConflictHits += popcount(Out);
-      K[I.Dst.Index] = Out;
+      K[D.Dst] = Out;
       break;
     }
 
@@ -861,51 +916,51 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       // leading enabled lane is ignored: that lane has no preceding lanes
       // left to wait for, which is what guarantees forward progress of the
       // do/while VPL in Figure 2(b).
-      uint64_t Enable = effectiveMask(I);
-      uint64_t Stop = K[I.Src1.Index] & Enable;
-      if (I.Op == Opcode::KFtmExc && Enable != 0)
+      uint64_t Enable = effMask();
+      uint64_t Stop = K[D.Src1] & Enable;
+      if (D.Op == Opcode::KFtmExc && Enable != 0)
         Stop &= ~(1ULL << countTrailingZeros(Enable));
       uint64_t Out;
       if (Stop == 0) {
         Out = Enable;
       } else {
         unsigned First = countTrailingZeros(Stop);
-        unsigned Cut = I.Op == Opcode::KFtmExc ? First : First + 1;
+        unsigned Cut = D.Op == Opcode::KFtmExc ? First : First + 1;
         Out = Enable & lowBitMask(Cut);
       }
       ++Stats.VplSteps;
       if (Out != Enable)
         ++Stats.VplPartitions;
-      K[I.Dst.Index] = Out;
+      K[D.Dst] = Out;
       break;
     }
 
     case Opcode::KMov:
-      K[I.Dst.Index] = K[I.Src1.Index];
+      K[D.Dst] = K[D.Src1];
       break;
     case Opcode::KSet:
-      K[I.Dst.Index] = static_cast<uint64_t>(I.Imm);
+      K[D.Dst] = static_cast<uint64_t>(D.Imm);
       break;
     case Opcode::KAnd:
-      K[I.Dst.Index] = K[I.Src1.Index] & K[I.Src2.Index];
+      K[D.Dst] = K[D.Src1] & K[D.Src2];
       break;
     case Opcode::KOr:
-      K[I.Dst.Index] = K[I.Src1.Index] | K[I.Src2.Index];
+      K[D.Dst] = K[D.Src1] | K[D.Src2];
       break;
     case Opcode::KXor:
-      K[I.Dst.Index] = K[I.Src1.Index] ^ K[I.Src2.Index];
+      K[D.Dst] = K[D.Src1] ^ K[D.Src2];
       break;
     case Opcode::KAndN:
-      K[I.Dst.Index] = ~K[I.Src1.Index] & K[I.Src2.Index];
+      K[D.Dst] = ~K[D.Src1] & K[D.Src2];
       break;
     case Opcode::KNot:
-      K[I.Dst.Index] = ~K[I.Src1.Index] & lowBitMask(Lanes);
+      K[D.Dst] = ~K[D.Src1] & D.AllMask;
       break;
     case Opcode::KTest:
-      R[I.Dst.Index] = K[I.Src1.Index] != 0 ? 1 : 0;
+      R[D.Dst] = K[D.Src1] != 0 ? 1 : 0;
       break;
     case Opcode::KPopcnt:
-      R[I.Dst.Index] = popcount(K[I.Src1.Index]);
+      R[D.Dst] = popcount(K[D.Src1]);
       break;
 
     case Opcode::XBegin:
@@ -920,14 +975,14 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       TxSnapshot.R = R;
       TxSnapshot.V = V;
       TxSnapshot.K = K;
-      TxAbortTarget = I.Target;
+      TxAbortTarget = D.Target;
       TxBeginPC = PC;
       Tx.begin();
       break;
     case Opcode::XEnd:
       if (Tx.commit()) {
-        ++Stats.RtmRetryDepth[std::min(
-            TxAttempts, ExecStats::RtmRetryDepthBuckets - 1)];
+        ++Stats.RtmRetryDepth[std::min(TxAttempts,
+                                       ExecStats::RtmRetryDepthBuckets - 1)];
         TxAttempts = 0;
       } else {
         TxAborted = true; // Injected commit-time abort.
@@ -965,36 +1020,43 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
     }
 
     ++Stats.Instructions;
-    ++Stats.OpcodeCounts[static_cast<unsigned>(I.Op)];
-    if (I.isBranch()) {
+    ++Stats.OpcodeCounts[static_cast<unsigned>(D.Op)];
+    if (D.Flags & FlagBranch) {
       ++Stats.Branches;
       if (Taken)
         ++Stats.TakenBranches;
     }
-    if (I.isVector()) {
+    if (D.Flags & FlagVector) {
       ++Stats.VectorOps;
-      ++Stats.MaskDensity[std::min(
-          popcount(ActiveMask), ExecStats::MaskDensityBuckets - 1)];
+      ++Stats.MaskDensity[std::min(popcount(ActiveMask),
+                                   ExecStats::MaskDensityBuckets - 1)];
     }
-    Stats.MemoryAccesses += AddrScratch.size();
+    Stats.MemoryAccesses += AddrCount;
 
     if (Sink) {
-      DynInstr DI;
-      DI.Instr = &I;
+      DynInstr &DI = Batch[BatchLen];
+      DI.Instr = &P[PC];
       DI.InstrIdx = PC;
       DI.NextIdx = NextPC;
       DI.Taken = Taken;
       DI.ActiveMask = ActiveMask;
-      DI.AccessSize = AccessSize;
-      DI.MemAddrs = &AddrScratch;
-      Sink->onInstr(DI);
+      DI.AccessSize = (D.Flags & FlagMemory) ? D.ES : 0;
+      DI.MemAddrs = nullptr; // Fixed up against the pool at flush time.
+      DI.NumMemAddrs = AddrCount;
+      BatchAddrOff[BatchLen] = AddrStart;
+      if (++BatchLen == TraceBatchSize)
+        flushBatch(Sink, Stats);
     }
 
     if (Faulted) {
+      // The faulting instruction is delivered before the run stops, just
+      // as the per-instruction path reported it.
+      if (Sink)
+        flushBatch(Sink, Stats);
       Result.Reason = StopReason::Fault;
       Result.FaultAddr = FaultAddr;
       Result.FaultPC = PC;
-      Result.FaultOp = I.Op;
+      Result.FaultOp = D.Op;
       return Result;
     }
 
@@ -1019,6 +1081,7 @@ void emu::recordMetrics(const ExecStats &S, obs::Registry &R) {
   R.counter("emu.rtm.retries").inc(S.RtmRetries);
   R.counter("emu.rtm.fallbacks").inc(S.RtmFallbacks);
   R.counter("emu.rtm.backoff_cycles").inc(S.BackoffCycles);
+  R.counter("emu.trace.batches").inc(S.TraceBatches);
   obs::Histogram &MD =
       R.histogram("emu.mask_density", ExecStats::MaskDensityBuckets);
   for (unsigned B = 0; B < ExecStats::MaskDensityBuckets; ++B)

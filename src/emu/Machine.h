@@ -52,15 +52,28 @@ struct DynInstr {
   uint64_t ActiveMask = 0; ///< Resolved write mask (vector ops).
   unsigned AccessSize = 0; ///< Bytes per memory access (memory ops).
   /// Effective addresses of the memory accesses this instruction performed
-  /// (one per active lane for gathers/scatters).
-  const std::vector<uint64_t> *MemAddrs = nullptr;
+  /// (one per active lane for gathers/scatters). Points into the machine's
+  /// batch address pool: valid only for the duration of the sink call that
+  /// delivered this record; nullptr when NumMemAddrs is 0.
+  const uint64_t *MemAddrs = nullptr;
+  uint32_t NumMemAddrs = 0;
 };
 
-/// Consumer of the dynamic instruction stream.
+/// Consumer of the dynamic instruction stream. Delivery is chunked: the
+/// machine stages retired instructions in a fixed-size ring and hands the
+/// sink whole batches, which replaces one virtual call per retired
+/// instruction with one per batch (docs/PERFORMANCE.md). Sinks that only
+/// implement onInstr keep working through the default onBatch shim.
 class TraceSink {
 public:
   virtual ~TraceSink();
+  /// Per-instruction delivery (legacy interface); the default onBatch
+  /// funnels every batched record through this.
   virtual void onInstr(const DynInstr &DI) = 0;
+  /// Batched delivery: \p N retired instructions in program order. The
+  /// array and the MemAddrs ranges it references are owned by the machine
+  /// and valid only for the duration of the call.
+  virtual void onBatch(const DynInstr *Batch, size_t N);
 };
 
 /// Why execution stopped.
@@ -84,6 +97,7 @@ struct ExecStats {
   uint64_t RtmRetries = 0;   ///< Aborted transactions re-executed in place.
   uint64_t RtmFallbacks = 0; ///< Aborts dispatched to the abort handler.
   uint64_t BackoffCycles = 0; ///< Simulated stall cycles between retries.
+  uint64_t TraceBatches = 0; ///< onBatch deliveries (0 without a sink).
 
   // Vector Partitioning Loop behaviour (paper Section 3.4): every
   // KFTM.EXC/INC is one VPL step; a step whose safe mask came out smaller
@@ -198,9 +212,41 @@ private:
     std::array<uint64_t, isa::NumMaskRegs> K;
   };
 
-  /// Resolved write mask for \p I: k0 (or no mask) enables all lanes of the
-  /// instruction's element type.
-  uint64_t effectiveMask(const isa::Instruction &I) const;
+  /// One pre-decoded instruction: everything the dispatch loop needs,
+  /// resolved once per run() instead of per dynamic execution. A dense POD
+  /// (isa::Instruction carries a std::string comment and symbolic register
+  /// records, so re-deriving element sizes, lane counts, and mask validity
+  /// per retired instruction was a measurable cost; see
+  /// docs/PERFORMANCE.md).
+  struct DecodedInstr {
+    isa::Opcode Op;
+    isa::ElemType Type;
+    isa::CmpKind Cond;
+    uint8_t ES;    ///< Element size in bytes.
+    uint8_t Lanes; ///< Lanes of a 512-bit vector at this element size.
+    uint8_t Dst, Src1, Src2, Src3;
+    uint8_t EffMask; ///< Write-mask register; NoEffMask = all lanes.
+    uint8_t Scale;
+    uint8_t Flags;    ///< FlagBranch | FlagVector | FlagSrc2Valid | FlagMemory.
+    uint64_t AllMask; ///< lowBitMask(Lanes).
+    int64_t Imm;
+    int64_t Disp;
+    int32_t Target;
+  };
+  static constexpr uint8_t NoEffMask = 0xff;
+  static constexpr uint8_t FlagBranch = 1;
+  static constexpr uint8_t FlagVector = 2;
+  static constexpr uint8_t FlagSrc2Valid = 4;
+  static constexpr uint8_t FlagMemory = 8;
+
+  /// Fills Plan from \p P. Runs once per run() call — the plan must not
+  /// outlive the Program it was decoded from, and keying a cache on the
+  /// Program's address would misfire when a freed program's storage is
+  /// reused.
+  void predecode(const isa::Program &P);
+
+  /// Delivers the staged batch (if any) to \p Sink and resets it.
+  void flushBatch(TraceSink *Sink, ExecStats &Stats);
 
   /// Memory access routed through the transaction unit when one is active.
   /// Returns false on a fault outside a transaction (sets FaultAddr); when
@@ -222,6 +268,18 @@ private:
   // Fault bookkeeping for the current step.
   bool Faulted = false;
   uint64_t FaultAddr = 0;
+
+  // Pre-decoded dispatch plan and trace-batching state, reused across
+  // run() calls so the hot loop performs no per-instruction allocation.
+  static constexpr size_t TraceBatchSize = 64;
+  std::vector<DecodedInstr> Plan;
+  /// Flat pool of effective addresses for the staged batch; DynInstr
+  /// records reference ranges of it (fixed up at flush, since the pool may
+  /// reallocate while the batch fills).
+  std::vector<uint64_t> AddrPool;
+  std::array<DynInstr, TraceBatchSize> Batch;
+  std::array<uint32_t, TraceBatchSize> BatchAddrOff;
+  size_t BatchLen = 0;
 };
 
 /// Exports \p S into \p R under the `emu.` metric namespace (counters plus

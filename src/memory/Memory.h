@@ -5,6 +5,26 @@
 // aborting, which is what the first-faulting FlexVec loads (Section 3.3.1)
 // and the RTM abort path (Section 3.3.2) are built on.
 //
+// Two hot-path mechanisms keep the model fast without changing observable
+// behaviour (docs/PERFORMANCE.md):
+//
+//   * A direct-mapped software TLB caches the last-N page lookups in front
+//     of the std::map tree walk, so same-page accesses (the common case
+//     for loop workloads) skip the tree entirely.
+//   * clone() is copy-on-write: pages are shared between the clone and its
+//     source via refcount and copied the first time either side writes
+//     them, so per-run image clones cost O(mapped pages) pointer copies
+//     instead of O(bytes).
+//
+// A Memory must only be read or written from one thread at a time. A
+// published base image that is no longer read or written directly may be
+// clone()d from several threads at once: clone() only copies the page map
+// (shared_ptr copies, atomic refcounts), and because the base keeps a
+// reference to every shared page, no clone ever sees use_count()==1 on a
+// shared page — so clones copy pages before writing and never mutate
+// shared bytes in place. The evaluation engine relies on this: the five
+// variant cells of one workload row clone one shared input image.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef FLEXVEC_MEMORY_MEMORY_H
@@ -18,6 +38,9 @@
 #include <vector>
 
 namespace flexvec {
+namespace obs {
+class Registry;
+}
 namespace mem {
 
 inline constexpr uint64_t PageSize = 4096;
@@ -38,6 +61,21 @@ struct AccessResult {
 
   static AccessResult success() { return {}; }
   static AccessResult fault(uint64_t Addr) { return {false, Addr}; }
+};
+
+/// Hot-path event counts. Pure functions of the access sequence (which is
+/// deterministic per cell), so they are safe to export into the
+/// deterministic bench payload.
+struct MemoryStats {
+  uint64_t TlbHits = 0;   ///< Page lookups served by the software TLB.
+  uint64_t TlbMisses = 0; ///< Lookups that walked the page map.
+  uint64_t CowCopies = 0; ///< Shared pages copied on first write.
+
+  void merge(const MemoryStats &O) {
+    TlbHits += O.TlbHits;
+    TlbMisses += O.TlbMisses;
+    CowCopies += O.CowCopies;
+  }
 };
 
 /// Policy interface consulted on every *architectural* access (read/write
@@ -62,8 +100,8 @@ public:
   Memory() = default;
   Memory(const Memory &) = delete;
   Memory &operator=(const Memory &) = delete;
-  Memory(Memory &&) = default;
-  Memory &operator=(Memory &&) = default;
+  Memory(Memory &&Other) noexcept;
+  Memory &operator=(Memory &&Other) noexcept;
 
   /// Maps [Addr, Addr+Size) with \p Perms; Addr and Size need not be
   /// page-aligned (the covering pages are mapped). Newly mapped pages are
@@ -77,6 +115,8 @@ public:
   bool isAccessible(uint64_t Addr, uint64_t Size, uint8_t Perms) const;
 
   /// Reads \p Size bytes into \p Out. On fault nothing is written.
+  /// Defined inline below: the TLB-hit single-page case is resolved in the
+  /// caller; everything else takes the out-of-line general path.
   AccessResult read(uint64_t Addr, void *Out, uint64_t Size) const;
 
   /// Writes \p Size bytes. On fault nothing is modified.
@@ -123,30 +163,123 @@ public:
   /// memory images across scalar and vectorized executions.
   uint64_t fingerprint() const;
 
-  /// Deep copy (initial images are cloned per program under test).
+  /// Copy-on-write copy: pages are shared with the source and copied the
+  /// first time either side writes them. Initial images are cloned per
+  /// program under test. The clone starts with fresh stats and no hook.
   Memory clone() const;
+
+  /// Eager byte-wise copy sharing nothing with the source. Used by tests
+  /// as the reference against which clone()'s copy-on-write behaviour is
+  /// verified.
+  Memory deepClone() const;
 
   /// Byte-wise comparison of mapped contents (and the mapped-page sets).
   bool contentsEqual(const Memory &Other) const;
+
+  /// Hot-path event counts since construction (clones start at zero).
+  const MemoryStats &stats() const { return Stats; }
 
 private:
   struct Page {
     std::array<uint8_t, PageSize> Data;
     uint8_t Perms;
   };
+  /// Pages are shared between COW clones; use_count()==1 means this
+  /// Memory is the sole owner and may write in place.
+  using PageRef = std::shared_ptr<Page>;
+
+  /// One direct-mapped TLB entry. Slot points at the PageRef inside the
+  /// std::map node, which is address-stable across insertions and moves,
+  /// so an entry stays valid until its page is unmapped — including across
+  /// the COW copy, which replaces the pointee, not the slot.
+  struct TlbEntry {
+    uint64_t PageIdx = ~0ULL;
+    PageRef *Slot = nullptr;
+  };
+  static constexpr size_t TlbEntries = 64; // power of two (direct-mapped)
 
   static void checkOk(const AccessResult &R);
 
+  /// TLB-accelerated slot lookup; null when the page is unmapped.
+  PageRef *lookup(uint64_t PageIdx) const;
+
   const Page *findPage(uint64_t PageIdx) const;
-  Page *findPage(uint64_t PageIdx);
+  /// Lookup for mutation: copies a shared page first (copy-on-write).
+  Page *findPageForWrite(uint64_t PageIdx);
+
+  void flushTlb() const;
 
   AccessResult doRead(uint64_t Addr, void *Out, uint64_t Size) const;
   AccessResult doWrite(uint64_t Addr, const void *Data, uint64_t Size);
 
-  // std::map keeps iteration deterministic for fingerprint/compare.
-  std::map<uint64_t, std::unique_ptr<Page>> Pages;
+  /// General-case architectural access (hook armed, TLB miss, straddle,
+  /// fault, zero size). Counts and behaves identically to the inline fast
+  /// path where the two overlap.
+  AccessResult readCold(uint64_t Addr, void *Out, uint64_t Size) const;
+  AccessResult writeCold(uint64_t Addr, const void *Data, uint64_t Size);
+
+  // std::map keeps iteration deterministic for fingerprint/compare, and
+  // its node stability is what lets TLB entries hold slot pointers.
+  std::map<uint64_t, PageRef> Pages;
   FaultHook *Hook = nullptr;
+  // The TLB is a cache warmed by const reads; stats are event counts on
+  // const paths too. Both are logically non-observable state.
+  mutable std::array<TlbEntry, TlbEntries> Tlb{};
+  mutable MemoryStats Stats;
 };
+
+// The architectural accessors resolve the dominant case — no fault hook,
+// single page, TLB hit — right in the caller (one table probe, one perm
+// test, one memcpy). Every other case falls through to the out-of-line
+// general path. Counter updates mirror the general path exactly: a TLB hit
+// books TlbHits whether the access then succeeds or perm-faults, and a COW
+// copy books CowCopies, so the fast path is invisible in the metrics.
+
+inline AccessResult Memory::read(uint64_t Addr, void *Out,
+                                 uint64_t Size) const {
+  if (!Hook) {
+    uint64_t Off = Addr & PageMask;
+    uint64_t PageIdx = Addr / PageSize;
+    const TlbEntry &E = Tlb[PageIdx & (TlbEntries - 1)];
+    if (Size != 0 && Off + Size <= PageSize && E.PageIdx == PageIdx) {
+      ++Stats.TlbHits;
+      const Page *Pg = E.Slot->get();
+      if (!(Pg->Perms & PermRead))
+        return AccessResult::fault(Addr);
+      std::memcpy(Out, Pg->Data.data() + Off, Size);
+      return AccessResult::success();
+    }
+  }
+  return readCold(Addr, Out, Size);
+}
+
+inline AccessResult Memory::write(uint64_t Addr, const void *Data,
+                                  uint64_t Size) {
+  if (!Hook) {
+    uint64_t Off = Addr & PageMask;
+    uint64_t PageIdx = Addr / PageSize;
+    const TlbEntry &E = Tlb[PageIdx & (TlbEntries - 1)];
+    if (Size != 0 && Off + Size <= PageSize && E.PageIdx == PageIdx) {
+      ++Stats.TlbHits;
+      PageRef *S = E.Slot;
+      if (!((*S)->Perms & PermWrite))
+        return AccessResult::fault(Addr);
+      if (S->use_count() > 1) {
+        // Shared with a COW clone: copy before the first write (the perm
+        // check above ran first, so a faulting write never copies).
+        *S = std::make_shared<Page>(**S);
+        ++Stats.CowCopies;
+      }
+      std::memcpy((*S)->Data.data() + Off, Data, Size);
+      return AccessResult::success();
+    }
+  }
+  return writeCold(Addr, Data, Size);
+}
+
+/// Exports \p S into \p R under the `mem.` metric namespace; see
+/// docs/OBSERVABILITY.md for the catalog.
+void recordMetrics(const MemoryStats &S, obs::Registry &R);
 
 /// Monotonic allocator handing out disjoint regions of a Memory, used to
 /// lay out workload data images. Leaves an unmapped guard page between

@@ -34,6 +34,11 @@ public:
   /// Installs the line holding \p Addr (LRU replacement).
   void install(uint64_t Addr);
 
+  /// Books a hit without touching LRU state. Used by the hierarchy's
+  /// same-line memo, which only fires when the line is already at MRU — so
+  /// the LRU move this skips would have been a no-op.
+  void countHit() { ++Hits; }
+
   unsigned latency() const { return Latency; }
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
@@ -43,8 +48,11 @@ private:
   unsigned LineShift;
   uint64_t NumSets;
   unsigned Ways;
-  /// Sets[set] = list of line tags, most recent first.
-  std::vector<std::vector<uint64_t>> Sets;
+  /// Flat tag store, Ways slots per set, most recent first; empty slots
+  /// hold ~0 (never a real tag — line indices are addresses >> LineShift).
+  /// Same LRU order and hit/miss sequence as a per-set list, without the
+  /// per-set heap node or erase/insert traffic.
+  std::vector<uint64_t> Lines;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
 };
@@ -75,6 +83,10 @@ public:
   unsigned accessLatency(uint64_t Addr, uint32_t Pc,
                          Level *LevelOut = nullptr);
 
+  /// Arms the same-line memo for a fresh trace batch (defensive reset; the
+  /// memo is exact across batch boundaries too, see Cache.cpp).
+  void beginBatch() { MemoLine = ~0ULL; }
+
   const MemStats &stats() const { return Stats; }
 
 private:
@@ -84,6 +96,11 @@ private:
   CoreConfig Cfg;
   CacheLevel L1, L2, L3;
   MemStats Stats;
+
+  /// Line of the previous demand access. A repeat access to the same line
+  /// is a guaranteed L1 hit and is serviced without walking the hierarchy
+  /// (the ~0ULL sentinel can never equal Addr >> 6).
+  uint64_t MemoLine = ~0ULL;
 
   /// Per-page stream detector: direction-confirmed sequential access
   /// within a 4 KiB page triggers prefetch of the next lines of that page.

@@ -14,14 +14,21 @@ using namespace flexvec::sim;
 using namespace flexvec::isa;
 
 namespace {
-constexpr size_t PortRingSize = 1u << 15;
+// Per-cycle occupancy window. Only needs to span the spread of cycles
+// that can be live at once — bounded by the ROB depth times the worst
+// per-uop latency (DRAM ~200 cycles plus bandwidth queueing), far below
+// 4096 — while staying small enough that all seven rings sit in L2
+// instead of streaming through megabytes of tags.
+constexpr size_t PortRingSize = 1u << 12;
 } // namespace
 
 OooCore::PortRing::PortRing(unsigned Units)
     : Units(Units), CycleTag(PortRingSize, ~0ULL), Count(PortRingSize, 0) {}
 
 uint64_t OooCore::PortRing::reserve(uint64_t Earliest) {
-  uint64_t C = Earliest;
+  // Cycles below the watermark are known full; starting there is exactly
+  // where the plain walk would have arrived.
+  uint64_t C = std::max(Earliest, FullBelow);
   while (true) {
     size_t Slot = C & (PortRingSize - 1);
     if (CycleTag[Slot] != C) {
@@ -30,8 +37,12 @@ uint64_t OooCore::PortRing::reserve(uint64_t Earliest) {
     }
     if (Count[Slot] < Units) {
       ++Count[Slot];
+      if (C == FullBelow && Count[Slot] == Units)
+        FullBelow = C + 1;
       return C;
     }
+    if (C == FullBelow)
+      FullBelow = C + 1;
     ++C;
   }
 }
@@ -127,16 +138,20 @@ uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
 
   uint64_t Complete = Issue + U.Latency;
   if (U.IsLoad) {
-    // Store-to-load forwarding against in-flight stores.
+    // Store-to-load forwarding against in-flight stores. The counting
+    // filter proves most loads have no matching granule anywhere in the
+    // buffer, so the scan only runs when a forward (or a filter-bucket
+    // collision) is actually possible.
     uint64_t Granule = U.Addr >> 3;
     bool Forwarded = false;
-    for (size_t I = 0; I < StoreBuf.size(); ++I) {
-      const PendingStore &PS = StoreBuf[I];
-      if (PS.Granule == Granule) {
-        Complete =
-            std::max(Issue, PS.Ready) + Cfg.ForwardLatency;
-        Forwarded = true;
-        break;
+    if (StoreGranFilter[Granule & 255] != 0) {
+      for (size_t I = 0; I < StoreBuf.size(); ++I) {
+        const PendingStore &PS = StoreBuf[I];
+        if (PS.Granule == Granule) {
+          Complete = std::max(Issue, PS.Ready) + Cfg.ForwardLatency;
+          Forwarded = true;
+          break;
+        }
       }
     }
     if (!Forwarded) {
@@ -154,8 +169,13 @@ uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
     // Writes retire into the hierarchy; model the tag access for stats and
     // prefetcher training, but keep it off the completion critical path.
     Mem.accessLatency(U.Addr, Pc);
-    StoreBuf[StoreBufHead] = PendingStore{U.Addr >> 3, Complete};
-    StoreBufHead = (StoreBufHead + 1) % StoreBuf.size();
+    PendingStore &Slot = StoreBuf[StoreBufHead];
+    if (Slot.Granule != ~0ULL)
+      --StoreGranFilter[Slot.Granule & 255];
+    Slot = PendingStore{U.Addr >> 3, Complete};
+    ++StoreGranFilter[Slot.Granule & 255];
+    if (++StoreBufHead == StoreBuf.size())
+      StoreBufHead = 0;
   }
 
   // In-order retirement.
@@ -163,42 +183,66 @@ uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
   LastRetire = Retire;
 
   RobRing[RobHead] = Retire;
-  RobHead = (RobHead + 1) % RobRing.size();
+  if (++RobHead == RobRing.size())
+    RobHead = 0;
   RsRing[RsHead] = Issue;
-  RsHead = (RsHead + 1) % RsRing.size();
+  if (++RsHead == RsRing.size())
+    RsHead = 0;
   if (U.IsLoad) {
     LqRing[LqHead] = Retire;
-    LqHead = (LqHead + 1) % LqRing.size();
+    if (++LqHead == LqRing.size())
+      LqHead = 0;
   }
   if (U.IsStore) {
     SqRing[SqHead] = Retire;
-    SqHead = (SqHead + 1) % SqRing.size();
+    if (++SqHead == SqRing.size())
+      SqHead = 0;
   }
   if (Retire > Stats.Cycles)
     Stats.Cycles = Retire;
   return Complete;
 }
 
-void OooCore::onInstr(const emu::DynInstr &DI) {
+void OooCore::onInstr(const emu::DynInstr &DI) { step(DI); }
+
+void OooCore::onBatch(const emu::DynInstr *Batch, size_t N) {
+  Mem.beginBatch();
+  for (size_t I = 0; I < N; ++I)
+    step(Batch[I]);
+}
+
+const OooCore::DecodedSim &OooCore::decoded(const emu::DynInstr &DI) {
+  if (DI.InstrIdx >= Decoded.size())
+    Decoded.resize(DI.InstrIdx + 1);
+  DecodedSim &D = Decoded[DI.InstrIdx];
+  if (D.Tag == DI.Instr)
+    return D;
+
   const Instruction &I = *DI.Instr;
-  ++Stats.Instructions;
   const InstrTiming &T = instrTiming(I.Op);
-
-  if (T.Port == PortKind::None && !I.isBranch())
-    return; // halt / nop
-
-  // Source readiness.
-  uint64_t SrcReady = 0;
+  D = DecodedSim{};
+  D.Tag = DI.Instr;
+  D.Latency = static_cast<uint16_t>(T.Latency);
+  D.Port = T.Port;
+  D.FixedUops = static_cast<uint8_t>(T.FixedUops);
+  D.LanesPerMemUop = static_cast<uint8_t>(T.LanesPerMemUop);
+  D.Skip = T.Port == PortKind::None && !I.isBranch(); // halt / nop
   // Transaction boundaries drain the pipeline: XBEGIN/XEND cannot execute
   // until every older uop has retired (store-buffer drain), though the
   // front end keeps fetching.
-  if (I.Op == Opcode::XBegin || I.Op == Opcode::XEnd)
-    SrcReady = LastRetire;
+  D.SerializesRetire = I.Op == Opcode::XBegin || I.Op == Opcode::XEnd;
+  D.IsXAbort = I.Op == Opcode::XAbort;
+  D.IsCondBranch = I.isConditionalBranch();
+  D.IsLoad = I.isLoad();
+  D.IsStore = I.isStore();
+  D.IsMemory = I.isMemory();
   for (Reg R : {I.Src1, I.Src2, I.Src3})
     if (R.isValid())
-      SrcReady = std::max(SrcReady, RegReady[regId(R)]);
+      D.WaitIds[D.NumWaits++] = static_cast<uint8_t>(regId(R));
   if (I.MaskReg.isValid())
-    SrcReady = std::max(SrcReady, RegReady[regId(I.MaskReg)]);
+    D.WaitIds[D.NumWaits++] = static_cast<uint8_t>(regId(I.MaskReg));
+  if (I.Dst.isValid())
+    D.DstId = static_cast<int16_t>(regId(I.Dst));
   // Only genuinely merge-masked vector writes read their old destination
   // (VBLEND selects; masked ALU ops merge). Loads and gathers are treated
   // as zero-masking, which is how baseline compilers break the false
@@ -213,36 +257,50 @@ void OooCore::onInstr(const emu::DynInstr &DI) {
       ReadsDest = true;
   }
   if (ReadsDest)
-    SrcReady = std::max(SrcReady, RegReady[regId(I.Dst)]);
+    D.WaitIds[D.NumWaits++] = static_cast<uint8_t>(D.DstId);
+  if (I.isFirstFaulting() && I.MaskReg.isValid())
+    D.FFMaskId = static_cast<int16_t>(regId(I.MaskReg));
+  return D;
+}
+
+void OooCore::step(const emu::DynInstr &DI) {
+  ++Stats.Instructions;
+  const DecodedSim &D = decoded(DI);
+
+  if (D.Skip)
+    return; // halt / nop
+
+  // Source readiness (pre-resolved scoreboard ids, see DecodedSim).
+  uint64_t SrcReady = D.SerializesRetire ? LastRetire : 0;
+  for (unsigned W = 0; W < D.NumWaits; ++W)
+    SrcReady = std::max(SrcReady, RegReady[D.WaitIds[W]]);
 
   uint64_t Complete = 0;
 
-  if (T.LanesPerMemUop > 0) {
+  if (D.LanesPerMemUop > 0) {
     // Gather/scatter: an AGU uop followed by one memory uop per active
     // lane over the two load ports (or the store port).
     UopDesc Agu{PortKind::Vec, 1};
     uint64_t AguDone = issueUop(Agu, SrcReady, DI.InstrIdx);
     Complete = AguDone;
-    if (DI.MemAddrs) {
-      for (uint64_t Addr : *DI.MemAddrs) {
-        UopDesc MemU{I.isLoad() ? PortKind::Load : PortKind::Store,
-                     T.Latency, I.isLoad(), I.isStore(), Addr, AguDone};
-        uint64_t Done = issueUop(MemU, SrcReady, DI.InstrIdx);
-        Complete = std::max(Complete, Done);
-      }
+    for (uint32_t A = 0; A < DI.NumMemAddrs; ++A) {
+      UopDesc MemU{D.IsLoad ? PortKind::Load : PortKind::Store, D.Latency,
+                   D.IsLoad, D.IsStore, DI.MemAddrs[A], AguDone};
+      uint64_t Done = issueUop(MemU, SrcReady, DI.InstrIdx);
+      Complete = std::max(Complete, Done);
     }
-  } else if (I.isMemory()) {
+  } else if (D.IsMemory) {
     // Scalar or contiguous vector access: one memory uop; a 512-bit access
     // can straddle two lines — charge the slower line.
     uint64_t First = 0, Last = 0;
-    if (DI.MemAddrs && !DI.MemAddrs->empty()) {
-      First = DI.MemAddrs->front();
-      Last = DI.MemAddrs->back();
+    if (DI.NumMemAddrs) {
+      First = DI.MemAddrs[0];
+      Last = DI.MemAddrs[DI.NumMemAddrs - 1];
     }
-    UopDesc MemU{I.isLoad() ? PortKind::Load : PortKind::Store, T.Latency,
-                 I.isLoad(), I.isStore(), First, 0};
+    UopDesc MemU{D.IsLoad ? PortKind::Load : PortKind::Store, D.Latency,
+                 D.IsLoad, D.IsStore, First, 0};
     Complete = issueUop(MemU, SrcReady, DI.InstrIdx);
-    if (I.isLoad() && (Last >> 6) != (First >> 6)) {
+    if (D.IsLoad && (Last >> 6) != (First >> 6)) {
       // The access straddles a line: if the second line is slower than the
       // first, the result waits for it.
       unsigned Extra = Mem.accessLatency(Last, DI.InstrIdx);
@@ -253,8 +311,8 @@ void OooCore::onInstr(const emu::DynInstr &DI) {
     // Non-memory: FixedUops micro-ops on the unit; the result is ready
     // Latency cycles after the first issues.
     uint64_t FirstDone = 0;
-    for (unsigned U = 0; U < T.FixedUops; ++U) {
-      UopDesc Desc{T.Port, U == 0 ? T.Latency : 1};
+    for (unsigned U = 0; U < D.FixedUops; ++U) {
+      UopDesc Desc{D.Port, U == 0 ? D.Latency : 1u};
       uint64_t Done = issueUop(Desc, SrcReady, DI.InstrIdx);
       if (U == 0)
         FirstDone = Done;
@@ -263,13 +321,13 @@ void OooCore::onInstr(const emu::DynInstr &DI) {
   }
 
   // Destination scoreboard updates.
-  if (I.Dst.isValid())
-    RegReady[regId(I.Dst)] = Complete;
-  if (I.isFirstFaulting() && I.MaskReg.isValid())
-    RegReady[regId(I.MaskReg)] = Complete; // Mask is also written.
+  if (D.DstId >= 0)
+    RegReady[D.DstId] = Complete;
+  if (D.FFMaskId >= 0)
+    RegReady[D.FFMaskId] = Complete; // Mask is also written.
 
   // Control flow.
-  if (I.isConditionalBranch()) {
+  if (D.IsCondBranch) {
     ++Stats.Branches;
     bool Correct = Bp.predictAndUpdate(DI.InstrIdx, DI.Taken);
     if (!Correct) {
@@ -288,7 +346,7 @@ void OooCore::onInstr(const emu::DynInstr &DI) {
   // Transaction aborts flush the pipeline; XBEGIN/XEND are expensive but
   // non-serializing on real RTM hardware (the tile-size study depends on
   // inter-tile overlap surviving commits).
-  if (I.Op == Opcode::XAbort) {
+  if (D.IsXAbort) {
     if (Complete > FetchCycle) {
       FetchCycle = Complete;
       FetchedThisCycle = 0;

@@ -68,15 +68,51 @@ class OooCore : public emu::TraceSink {
 public:
   explicit OooCore(const CoreConfig &Cfg = CoreConfig());
 
+  /// Legacy per-instruction delivery; identical to a one-element batch.
   void onInstr(const emu::DynInstr &DI) override;
+
+  /// Batched delivery from the emulator; processes the records in order
+  /// with the hierarchy's same-line memo armed (see Cache.h).
+  void onBatch(const emu::DynInstr *Batch, size_t N) override;
 
   /// Final statistics (cycle count is the last retirement).
   SimStats stats() const;
 
 private:
+  /// Plays one retired instruction through the scoreboard.
+  void step(const emu::DynInstr &DI);
+
   // Architectural register scoreboard: 32 scalar + 32 vector + 8 mask.
   static constexpr unsigned NumRegs = 72;
   static unsigned regId(isa::Reg R);
+
+  /// Everything step() needs from the static instruction, resolved once
+  /// per program instruction instead of per retired one: scoreboard ids
+  /// for every register the uop waits on (sources, mask, and — when the
+  /// op genuinely merge-masks — the old destination), timing-table
+  /// fields, and the classification flags. Indexed by DynInstr::InstrIdx
+  /// and tag-checked against the Instruction's address, so a core fed
+  /// from more than one program just re-decodes on the switch.
+  struct DecodedSim {
+    const isa::Instruction *Tag = nullptr;
+    uint8_t NumWaits = 0;
+    uint8_t WaitIds[5];
+    int16_t DstId = -1;
+    int16_t FFMaskId = -1; ///< First-faulting ops also write their mask.
+    uint16_t Latency = 1;
+    isa::PortKind Port = isa::PortKind::ALU;
+    uint8_t FixedUops = 1;
+    uint8_t LanesPerMemUop = 0;
+    bool Skip = false;             ///< Untimed (halt / nop).
+    bool SerializesRetire = false; ///< XBEGIN/XEND store-buffer drain.
+    bool IsXAbort = false;
+    bool IsCondBranch = false;
+    bool IsLoad = false;
+    bool IsStore = false;
+    bool IsMemory = false;
+  };
+  const DecodedSim &decoded(const emu::DynInstr &DI);
+  std::vector<DecodedSim> Decoded;
 
   struct UopDesc {
     isa::PortKind Port;
@@ -128,6 +164,13 @@ private:
     /// Earliest cycle >= Earliest with spare capacity; reserves it.
     uint64_t reserve(uint64_t Earliest);
     unsigned Units;
+    /// Every cycle below this is at capacity. Occupancy is monotone —
+    /// reservations only add — so the watermark lets a probe on a
+    /// saturated port start at the frontier instead of walking the full
+    /// prefix cycle by cycle; it only advances over cycles proven full
+    /// contiguously from the previous watermark, so the reserved cycle is
+    /// identical to the walked answer.
+    uint64_t FullBelow = 0;
     std::vector<uint64_t> CycleTag;
     std::vector<uint8_t> Count;
   };
@@ -143,6 +186,12 @@ private:
   };
   std::vector<PendingStore> StoreBuf;
   size_t StoreBufHead = 0;
+  /// Counting filter over the granules currently in StoreBuf (hashed into
+  /// 256 buckets): a load whose bucket count is zero cannot forward and
+  /// skips the buffer scan. Maintained exactly on every insert/evict, so
+  /// the scan outcome is unchanged — only the no-match common case gets
+  /// cheaper.
+  std::array<uint16_t, 256> StoreGranFilter{};
 
   SimStats Stats;
 };
