@@ -167,6 +167,14 @@ bool matchReduction(const Pdg &P, int D, const std::vector<int> &UseNodes,
 
 } // namespace
 
+void VectorizationPlan::seal(int NumStmts) {
+  SpecLoadBits.assign(static_cast<size_t>(NumStmts) / 64 + 1, 0);
+  for (int N : SpeculativeLoadNodes)
+    if (N >= 0 && N <= NumStmts)
+      SpecLoadBits[static_cast<size_t>(N) / 64] |=
+          static_cast<uint64_t>(1) << (N % 64);
+}
+
 std::string VectorizationPlan::describe(const LoopFunction &F) const {
   std::string Out = "plan for " + F.name() + ": ";
   if (!Vectorizable)

@@ -92,6 +92,10 @@ struct VectorizationPlan {
   /// (they execute speculatively in the shadow of a relaxed dependence).
   std::vector<int> SpeculativeLoadNodes;
 
+  /// Bitset over statement ids mirroring SpeculativeLoadNodes, built once
+  /// by seal() in plan legalization; empty until sealed.
+  std::vector<uint64_t> SpecLoadBits;
+
   /// True if any FlexVec-specific mechanism is required (i.e. a traditional
   /// vectorizer would reject the loop).
   bool needsFlexVec() const {
@@ -99,7 +103,19 @@ struct VectorizationPlan {
            !MemConflictVpls.empty();
   }
 
+  /// Finalizes the plan for emission: builds the speculative-load bitset
+  /// (\p NumStmts is the highest statement id, per LoopFunction::numStmts).
+  void seal(int NumStmts);
+
   bool isSpeculative(int Node) const {
+    if (!SpecLoadBits.empty()) {
+      unsigned N = static_cast<unsigned>(Node);
+      if (N >= SpecLoadBits.size() * 64)
+        return false;
+      return (SpecLoadBits[N / 64] >> (N % 64)) & 1;
+    }
+    // Unsealed plans (hand-built in tests, queries during analysis) fall
+    // back to the scan.
     for (int N : SpeculativeLoadNodes)
       if (N == Node)
         return true;

@@ -3,6 +3,7 @@
 #include "core/ParallelEvaluator.h"
 
 #include "core/Evaluator.h"
+#include "driver/Remarks.h"
 #include "sim/OooCore.h"
 #include "support/Hash.h"
 #include "support/Statistics.h"
@@ -92,9 +93,26 @@ CellResult evalCell(const SweepWorkload &W, VariantId V,
     PR = Cache.getOrCompile(*W.F, Opts.RtmTile);
   }
 
+  // Every cell carries the remark stream filtered to its variant —
+  // including declined cells, where the missed-remark is the machine-
+  // readable "why not". Remarks are a pure function of the loop structure
+  // (no names), so this stays byte-stable under cache sharing. The
+  // counters register first so the cell registry renders in a fixed order.
+  Cell.Remarks = PR->Remarks.toJsonFor(Cell.Variant);
+  obs::Counter &Applied = Cell.Metrics.counter("driver.remarks.applied");
+  obs::Counter &Missed = Cell.Metrics.counter("driver.remarks.missed");
+  for (const driver::Remark &Rk : PR->Remarks.remarks()) {
+    if (Rk.Variant != Cell.Variant)
+      continue;
+    if (Rk.Kind == driver::RemarkKind::Applied)
+      Applied.inc();
+    else if (Rk.Kind == driver::RemarkKind::Missed)
+      Missed.inc();
+  }
+
   const codegen::CompiledLoop *CL = selectVariant(*PR, V);
   if (!CL)
-    return Cell; // Generator declined the loop: empty cell.
+    return Cell; // Strategy declined the loop: empty cell (see Remarks).
   Cell.Generated = true;
 
   // First cell of this row to arrive pays for input generation and the
@@ -266,6 +284,10 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
     J.set("group", Cell.Group);
     J.set("variant", Cell.Variant);
     J.set("generated", Cell.Generated);
+    // The variant-filtered remark stream rides along for every cell —
+    // declined cells are exactly where the "why not" matters. New key,
+    // additive vs the v2 baseline (benchdiff walks baseline keys only).
+    J.set("remarks", Cell.Remarks);
     if (Cell.Generated) {
       J.set("correct", Cell.Correct);
       J.set("cycles", Cell.Cycles);

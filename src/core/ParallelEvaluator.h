@@ -113,6 +113,11 @@ struct CellResult {
   /// run (emu.*, rtm.*, sim.* — see docs/OBSERVABILITY.md). Pure event
   /// counts and ratios of them: byte-stable across worker counts.
   obs::Registry Metrics;
+  /// The compiler's remark stream filtered to this cell's variant (see
+  /// docs/COMPILER.md). Declined cells carry the missed-remark explaining
+  /// why. Remarks never mention the loop name, so the payload is
+  /// byte-stable under compiled-loop cache sharing.
+  Json Remarks;
 };
 
 /// The full sweep, cells in matrix order (workload-major, variant-minor).

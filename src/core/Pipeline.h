@@ -5,57 +5,29 @@
 // vectorization (when legal), the PACT'13-style speculative baseline (when
 // applicable), FlexVec partial vector code, and the RTM variant.
 //
+// The implementation lives in src/driver (the named pass pipeline and the
+// Algorithm-1 lowering skeleton); this header is the stable core-layer
+// alias so existing call sites keep compiling unchanged.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef FLEXVEC_CORE_PIPELINE_H
 #define FLEXVEC_CORE_PIPELINE_H
 
-#include "analysis/CostModel.h"
-#include "analysis/Patterns.h"
-#include "codegen/Generators.h"
-#include "codegen/Peephole.h"
-
-#include <optional>
-#include <string>
-#include <vector>
+#include "driver/CompilerDriver.h"
 
 namespace flexvec {
 namespace core {
 
-/// Everything the pipeline produces for one loop.
-struct PipelineResult {
-  analysis::VectorizationPlan Plan;
-  analysis::LoopShape Shape;
-  codegen::CompiledLoop Scalar;
-  std::optional<codegen::CompiledLoop> Traditional;
-  std::optional<codegen::CompiledLoop> Speculative;
-  std::optional<codegen::CompiledLoop> FlexVec;
-  std::optional<codegen::CompiledLoop> Rtm;
-  /// FlexVec program after the downstream peephole passes (Section 3.7's
-  /// "down-stream passes of the compiler"); kept separate so the ablation
-  /// benchmark can compare.
-  std::optional<codegen::CompiledLoop> FlexVecOpt;
-  codegen::PeepholeStats OptStats;
-  std::string PdgDump;
-  /// Structured diagnostics from generators that declined the loop
-  /// (recoverable conditions that previously aborted the process).
-  std::vector<std::string> Diagnostics;
+/// Everything the pipeline produces for one loop (see
+/// driver::CompileResult, which adds the structured remark stream).
+using PipelineResult = driver::CompileResult;
 
-  /// The program the baseline (ICC/AVX-512 -fast) would execute: the
-  /// traditional vector code when legal, otherwise scalar.
-  const codegen::CompiledLoop &baseline() const {
-    return Traditional ? *Traditional : Scalar;
-  }
-
-  /// The best FlexVec program (first-faulting variant).
-  const codegen::CompiledLoop &flexvec() const {
-    return FlexVec ? *FlexVec : baseline();
-  }
-};
-
-/// Runs analysis and all code generators over \p F.
-PipelineResult compileLoop(const ir::LoopFunction &F,
-                           unsigned RtmTile = codegen::DefaultRtmTile);
+/// Runs the full pass pipeline over \p F.
+inline PipelineResult compileLoop(const ir::LoopFunction &F,
+                                  unsigned RtmTile = codegen::DefaultRtmTile) {
+  return driver::compileLoop(F, RtmTile);
+}
 
 } // namespace core
 } // namespace flexvec

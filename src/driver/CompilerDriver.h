@@ -1,0 +1,101 @@
+//===- driver/CompilerDriver.h - The FlexVec compiler driver ----*- C++ -*-===//
+//
+// Public entry point of the compiler: runs one loop through the named pass
+// pipeline
+//
+//   ir-normalize → pdg-build → pattern-analysis → plan-legalize →
+//   lower → peephole → program-verify
+//
+// and returns every program variant the evaluation compares plus the full
+// remark stream. core::compileLoop / core::PipelineResult are thin aliases
+// over this driver, so existing call sites keep working unchanged.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_DRIVER_COMPILERDRIVER_H
+#define FLEXVEC_DRIVER_COMPILERDRIVER_H
+
+#include "analysis/CostModel.h"
+#include "analysis/Patterns.h"
+#include "codegen/Compiled.h"
+#include "codegen/Peephole.h"
+#include "driver/Pass.h"
+#include "driver/Remarks.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flexvec {
+namespace codegen {
+
+/// Default RTM strip-mining tile, in scalar iterations (the paper found
+/// 128-256 within 1-2% of first-faulting codegen).
+inline constexpr unsigned DefaultRtmTile = 192;
+
+} // namespace codegen
+
+namespace driver {
+
+/// Driver configuration.
+struct DriverOptions {
+  unsigned RtmTile = codegen::DefaultRtmTile;
+  /// When the post-codegen program verifier runs. Auto means "debug builds
+  /// always; release builds when FLEXVEC_VERIFY is set" (see
+  /// driver/Verifier.h).
+  enum class VerifyMode : uint8_t { Auto, On, Off };
+  VerifyMode Verify = VerifyMode::Auto;
+};
+
+/// Everything the pipeline produces for one loop.
+struct CompileResult {
+  analysis::VectorizationPlan Plan;
+  analysis::LoopShape Shape;
+  codegen::CompiledLoop Scalar;
+  std::optional<codegen::CompiledLoop> Traditional;
+  std::optional<codegen::CompiledLoop> Speculative;
+  std::optional<codegen::CompiledLoop> FlexVec;
+  std::optional<codegen::CompiledLoop> Rtm;
+  /// FlexVec program after the downstream peephole passes (Section 3.7's
+  /// "down-stream passes of the compiler"); kept separate so the ablation
+  /// benchmark can compare.
+  std::optional<codegen::CompiledLoop> FlexVecOpt;
+  codegen::PeepholeStats OptStats;
+  std::string PdgDump;
+  /// Legacy diagnostic strings ("flexvec: <why>"); derived from the missed
+  /// remarks for callers that predate the remark engine.
+  std::vector<std::string> Diagnostics;
+  /// Structured remarks from every pass: what was recognized, what was
+  /// generated, and why each variant that is absent was declined.
+  RemarkStream Remarks;
+
+  /// The program the baseline (ICC/AVX-512 -fast) would execute: the
+  /// traditional vector code when legal, otherwise scalar.
+  const codegen::CompiledLoop &baseline() const {
+    return Traditional ? *Traditional : Scalar;
+  }
+
+  /// The best FlexVec program (first-faulting variant).
+  const codegen::CompiledLoop &flexvec() const {
+    return FlexVec ? *FlexVec : baseline();
+  }
+};
+
+/// Builds the standard seven-pass pipeline.
+PassManager buildPipeline();
+
+/// Runs the full pipeline over \p F.
+CompileResult compileLoop(const ir::LoopFunction &F,
+                          const DriverOptions &Opts);
+
+inline CompileResult compileLoop(const ir::LoopFunction &F,
+                                 unsigned RtmTile = codegen::DefaultRtmTile) {
+  DriverOptions Opts;
+  Opts.RtmTile = RtmTile;
+  return compileLoop(F, Opts);
+}
+
+} // namespace driver
+} // namespace flexvec
+
+#endif // FLEXVEC_DRIVER_COMPILERDRIVER_H

@@ -1,0 +1,151 @@
+//===- driver/LoweringStrategy.h - Algorithm-1 lowering driver --*- C++ -*-===//
+//
+// The single Algorithm-1 lowering skeleton and the strategy interface the
+// four vector variants plug into. The skeleton owns everything the paper's
+// Algorithm 1 shares across variants — preheader, the chunked vector loop
+// (head guard, chunk prolog, body, chunk epilog, early-exit break,
+// backedge), the live-out block, and the halt — while a LoweringStrategy
+// contributes only what genuinely differs: legality, emitter options, the
+// shape of the loop nest (flat chunks vs. RTM tiles vs. checkpointed
+// straightline chunks), and the scalar-fallback tails.
+//
+// Emission-order contract: the skeleton emits, in order,
+//
+//   preheader | loop nest | resume blocks | VecExit: live-outs |
+//   fallback tail | HaltL: halt
+//
+// where "resume blocks" are fallback bodies that re-enter the loop (the
+// RTM abort handler, the speculative scalar chunk) and the "fallback tail"
+// runs after the live-outs (FlexVec's first-faulting scalar fallback, or
+// just the jmp-to-halt that skips it). Strategies with empty tails fall
+// through from the live-outs straight into the halt, reproducing the
+// traditional layout byte-for-byte.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_DRIVER_LOWERINGSTRATEGY_H
+#define FLEXVEC_DRIVER_LOWERINGSTRATEGY_H
+
+#include "codegen/Compiled.h"
+#include "codegen/VectorEmitter.h"
+#include "driver/Remarks.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace flexvec {
+namespace driver {
+
+/// Optional early-exit break emitted after the chunk epilog. (Namespace
+/// scope rather than nested: a nested aggregate with member initializers
+/// cannot be a `= {}` default argument inside its own enclosing class.)
+struct BreakCheck {
+  bool Enabled = false;
+  isa::ProgramBuilder::Label To = 0;
+  const char *Comment = nullptr;
+};
+
+/// Shared state of one lowering: the builder, the loop, the plan, and the
+/// skeleton's labels. Owned by lowerLoop(); strategies receive it in every
+/// hook.
+struct LoweringContext {
+  isa::ProgramBuilder B;
+  const ir::LoopFunction &F;
+  const analysis::VectorizationPlan &Plan;
+  unsigned RtmTile;
+  RemarkStream &Remarks;
+  /// Valid during the emission hooks (constructed after prepare()).
+  codegen::VectorEmitter *Em = nullptr;
+  /// Bound by the skeleton: the live-out block and the final halt.
+  isa::ProgramBuilder::Label VecExit = 0;
+  isa::ProgramBuilder::Label HaltL = 0;
+
+  LoweringContext(const ir::LoopFunction &F,
+                  const analysis::VectorizationPlan &Plan, unsigned RtmTile,
+                  RemarkStream &Remarks)
+      : F(F), Plan(Plan), RtmTile(RtmTile), Remarks(Remarks) {}
+
+  /// Trip-count register (scalar parameter holding n).
+  isa::Reg trip() const {
+    return codegen::scalarParamReg(F.tripCountScalar());
+  }
+  /// Scratch register used by every loop-head guard.
+  isa::Reg headTemp() const { return isa::Reg::scalar(25); }
+
+  /// Optional early-exit break emitted after the chunk epilog.
+  using BreakCheck = driver::BreakCheck;
+
+  /// Algorithm 1's loop-head guard: `t = i < Bound; brZero t, ExitTo`.
+  void emitLoopHead(isa::Reg Bound, isa::ProgramBuilder::Label ExitTo);
+
+  /// One full Algorithm-1 chunk loop against \p Bound:
+  ///
+  ///   Top:  head guard (exit to ExitTo)
+  ///         chunk prolog
+  ///         [AfterProlog]
+  ///         body            (Em->emitBody() unless Body overrides)
+  ///         chunk epilog
+  ///         [break check]
+  ///         jmp Top
+  ///
+  /// This is the one place the chunked loop structure exists; every
+  /// strategy's nest is built from it. Returns the loop-top label so
+  /// resume blocks can re-enter the loop.
+  isa::ProgramBuilder::Label
+  emitChunkLoop(isa::Reg Bound, isa::ProgramBuilder::Label ExitTo,
+                BreakCheck Break = {},
+                const std::function<void()> &AfterProlog = {},
+                const std::function<void()> &Body = {});
+};
+
+/// One code-generation variant plugged into the Algorithm-1 skeleton.
+class LoweringStrategy {
+public:
+  virtual ~LoweringStrategy() = default;
+
+  virtual codegen::CodeGenKind kind() const = 0;
+  /// Variant name, matching the evaluation matrix columns ("traditional",
+  /// "speculative", "flexvec", "flexvec-rtm").
+  virtual const char *name() const = 0;
+
+  /// Legality check and per-loop setup (labels, checkpoint schedules).
+  /// Runs before the emitter exists. A decline must emit a Missed remark
+  /// tagged with name() and return false — no refusal is ever silent.
+  virtual bool prepare(LoweringContext &Ctx) = 0;
+
+  /// Emitter configuration for this strategy.
+  virtual codegen::VectorEmitter::Options
+  emitterOptions(const LoweringContext &Ctx) const = 0;
+
+  /// The strategy's loop nest, built from Ctx.emitChunkLoop /
+  /// Ctx.emitLoopHead. Exits branch to Ctx.VecExit.
+  virtual void emitLoopNest(LoweringContext &Ctx) = 0;
+
+  /// Blocks between the loop nest and the live-out block that re-enter the
+  /// loop (RTM abort handler, speculative scalar chunk). Default: none.
+  virtual void emitResumeBlocks(LoweringContext &Ctx) { (void)Ctx; }
+
+  /// Code after the live-outs: the jmp-to-halt plus any scalar fallback
+  /// entered from inside the loop (FlexVec's first-faulting bail). The
+  /// default emits nothing, so control falls through into the halt.
+  virtual void emitFallbackTail(LoweringContext &Ctx) { (void)Ctx; }
+
+  /// CompiledLoop::Notes text; called after emission completes.
+  virtual std::string notes(const LoweringContext &Ctx) const = 0;
+};
+
+/// Creates the strategy for \p Kind (one of the four vector variants).
+std::unique_ptr<LoweringStrategy> createStrategy(codegen::CodeGenKind Kind);
+
+/// THE Algorithm-1 driver: runs \p S through the shared skeleton. Returns
+/// nullopt when the strategy declines (after it has emitted a Missed
+/// remark); otherwise emits an Applied remark recording the generation.
+std::optional<codegen::CompiledLoop>
+lowerLoop(const ir::LoopFunction &F, const analysis::VectorizationPlan &Plan,
+          unsigned RtmTile, LoweringStrategy &S, RemarkStream &Remarks);
+
+} // namespace driver
+} // namespace flexvec
+
+#endif // FLEXVEC_DRIVER_LOWERINGSTRATEGY_H

@@ -1,0 +1,80 @@
+//===- driver/Pass.h - Typed pass pipeline ----------------------*- C++ -*-===//
+//
+// The minimal pass infrastructure the FlexVec driver runs on: a Pass is a
+// named unit of work over one loop, a PassManager runs a fixed sequence of
+// them, and a PassContext carries the loop, the driver options, the
+// under-construction CompileResult, and pass-to-pass state (the PDG).
+//
+// Unlike a general compiler pass manager there is no scheduling or
+// invalidation — the pipeline is a straight line by design (the paper's
+// flow is analysis → plan → lowering) — but every stage has a name, its
+// own remarks, and a single place in the order, which is what the remark
+// engine, the verifier, and future cost-model experiments need.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_DRIVER_PASS_H
+#define FLEXVEC_DRIVER_PASS_H
+
+#include <memory>
+#include <vector>
+
+namespace flexvec {
+
+namespace ir {
+class LoopFunction;
+}
+namespace pdg {
+class Pdg;
+}
+
+namespace driver {
+
+struct CompileResult;
+struct DriverOptions;
+
+/// Everything a pass can see: the loop, the options, the result being
+/// built (plans, programs, remarks), and inter-pass analyses.
+struct PassContext {
+  const ir::LoopFunction &F;
+  const DriverOptions &Opts;
+  CompileResult &R;
+  /// Built by pdg-build, consumed by pattern-analysis.
+  std::unique_ptr<pdg::Pdg> Graph;
+
+  PassContext(const ir::LoopFunction &F, const DriverOptions &Opts,
+              CompileResult &R)
+      : F(F), Opts(Opts), R(R) {}
+};
+
+/// One named stage of the compilation pipeline.
+class Pass {
+public:
+  virtual ~Pass() = default;
+  /// Stable pass name; remarks reference it and docs/COMPILER.md catalogs
+  /// it.
+  virtual const char *name() const = 0;
+  virtual void run(PassContext &Ctx) = 0;
+};
+
+/// Runs passes in registration order.
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  void run(PassContext &Ctx) {
+    for (const std::unique_ptr<Pass> &P : Passes)
+      P->run(Ctx);
+  }
+
+  size_t size() const { return Passes.size(); }
+  const Pass &pass(size_t I) const { return *Passes[I]; }
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+} // namespace driver
+} // namespace flexvec
+
+#endif // FLEXVEC_DRIVER_PASS_H

@@ -97,6 +97,33 @@ TEST(CliSmoke, ValidParallelRunSucceeds) {
   EXPECT_EQ(R.Exit, 0) << R.Output;
 }
 
+TEST(CliSmoke, RemarksTextListsStrategies) {
+  CmdResult R = run(Cli + " " + Argmin + " --remarks");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("== Remarks =="), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("vectorized"), std::string::npos) << R.Output;
+}
+
+TEST(CliSmoke, RemarksJsonIsPureMachineReadableOutput) {
+  CmdResult R = run(Cli + " " + Argmin + " --remarks=json");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  // Pure JSON: an array of remark objects, no human-readable framing.
+  EXPECT_EQ(R.Output.rfind("[", 0), 0u) << R.Output;
+  EXPECT_EQ(R.Output.find("== "), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"kind\": \"applied\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"id\": \"vectorized\""), std::string::npos)
+      << R.Output;
+  // The traditional vectorizer declines argmin; the decline must be a
+  // structured missed-remark, never silent.
+  EXPECT_NE(R.Output.find("\"kind\": \"missed\""), std::string::npos)
+      << R.Output;
+}
+
+TEST(CliSmoke, RemarksBadValueRejected) {
+  expectRejected(Cli + " --remarks=yaml " + Argmin, "--remarks");
+}
+
 TEST(BenchSmoke, UnknownFlagRejected) {
   CmdResult R = run(Bench + " --bogus");
   EXPECT_EQ(R.Exit, 2) << R.Output;

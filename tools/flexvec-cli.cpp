@@ -8,6 +8,11 @@
 //   flexvec-cli LOOP.fv [options]
 //     --dump-pdg          print the program dependence graph
 //     --dump-all          disassemble every generated variant
+//     --remarks           print the structured vectorization remarks —
+//                         what each pass recognized, which strategies
+//                         fired, and why the others declined
+//     --remarks=json      print ONLY the remark stream as JSON (for
+//                         tooling; suppresses all other output)
 //     --run               execute on random inputs and report timing
 //     --jobs=N            measure the variants on N worker threads
 //                         (results are identical for every N; default 1)
@@ -63,6 +68,8 @@ struct CliOptions {
   std::string Path;
   bool DumpPdg = false;
   bool DumpAll = false;
+  bool Remarks = false;
+  bool RemarksJson = false;
   bool Run = false;
   bool FaultDiff = false;
   unsigned Jobs = 1;
@@ -76,6 +83,7 @@ struct CliOptions {
 void usage(std::FILE *To) {
   std::fprintf(To,
                "usage: flexvec-cli LOOP.fv [--dump-pdg] [--dump-all] "
+               "[--remarks[=json]] "
                "[--run] [--jobs=N] [--trip=N] [--seed=N] [--arraysize=N] "
                "[--set NAME=V] [--fault-diff] [--fault-seed=N] "
                "[--fault-nth=N] [--fault-range=LO:HI:PROB[:DUR]] "
@@ -99,6 +107,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpPdg = true;
     } else if (Arg == "--dump-all") {
       Opts.DumpAll = true;
+    } else if (Arg == "--remarks") {
+      Opts.Remarks = true;
+    } else if (Arg == "--remarks=json") {
+      Opts.RemarksJson = true;
+    } else if (Arg.rfind("--remarks=", 0) == 0) {
+      std::fprintf(stderr, "error: --remarks takes no value or '=json', "
+                           "got '%s'\n", Arg.c_str());
+      return false;
     } else if (Arg == "--run") {
       Opts.Run = true;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
@@ -373,6 +389,15 @@ int main(int Argc, char **Argv) {
   }
   const ir::LoopFunction &F = *Parsed.F;
 
+  // Machine-readable mode: emit only the remark stream so the output pipes
+  // straight into tooling (the stream is deterministic JSON, see
+  // docs/COMPILER.md for the schema).
+  if (Opts.RemarksJson) {
+    core::PipelineResult PR = core::compileLoop(F);
+    std::fputs(PR.Remarks.toJson().dump().c_str(), stdout);
+    return 0;
+  }
+
   std::printf("== Parsed loop ==\n%s\n", F.print().c_str());
 
   core::PipelineResult PR = core::compileLoop(F);
@@ -390,6 +415,9 @@ int main(int Argc, char **Argv) {
   } else if (PR.FlexVec) {
     dumpVariant("flexvec", PR.FlexVec);
   }
+
+  if (Opts.Remarks)
+    std::printf("== Remarks ==\n%s\n", PR.Remarks.render().c_str());
 
   for (const std::string &D : PR.Diagnostics)
     std::printf("note: %s\n", D.c_str());
