@@ -49,6 +49,8 @@ int main() {
     check("speculative", *PR.Speculative);
   check("flexvec", *PR.FlexVec);
   check("flexvec-rtm", *PR.Rtm);
+  if (PR.Adaptive)
+    check("flexvec-adaptive", *PR.Adaptive);
 
   // 5. Performance on the Table 1 core.
   std::printf("\n== Timing (Table 1 core) ==\n");
@@ -66,6 +68,8 @@ int main() {
     row("speculative", *PR.Speculative);
   row("flexvec", *PR.FlexVec);
   row("flexvec-rtm", *PR.Rtm);
+  if (PR.Adaptive)
+    row("flexvec-adaptive", *PR.Adaptive);
   T.print();
 
   std::printf("\n== Microarchitectural detail ==\n");

@@ -49,6 +49,8 @@ enum class CodeGenKind : uint8_t {
   Speculative,  ///< PACT'13-style all-or-nothing speculative vectorization.
   FlexVec,      ///< Partial vector code with VPLs and FlexVec instructions.
   FlexVecRtm,   ///< FlexVec with RTM speculation instead of FF loads.
+  FlexVecAdaptive, ///< Speculative + traditional behind a runtime dispatch
+                   ///< guard with abort-rate-driven demotion.
 };
 
 const char *codeGenKindName(CodeGenKind K);

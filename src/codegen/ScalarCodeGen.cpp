@@ -217,6 +217,8 @@ const char *codegen::codeGenKindName(CodeGenKind K) {
     return "flexvec";
   case CodeGenKind::FlexVecRtm:
     return "flexvec-rtm";
+  case CodeGenKind::FlexVecAdaptive:
+    return "flexvec-adaptive";
   }
   unreachable("unknown codegen kind");
 }

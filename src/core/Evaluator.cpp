@@ -8,11 +8,40 @@ using namespace flexvec;
 using namespace flexvec::core;
 using namespace flexvec::ir;
 
+void core::setUpDispatchCell(const codegen::CompiledLoop &CL,
+                             mem::Memory &M) {
+  if (CL.Kind != codegen::CodeGenKind::FlexVecAdaptive)
+    return;
+  M.map(driver::dispatch::CellAddr, driver::dispatch::CellSize);
+}
+
+bool core::tearDownDispatchCell(const codegen::CompiledLoop &CL,
+                                mem::Memory &M,
+                                driver::DispatchCounts &Out) {
+  if (CL.Kind != codegen::CodeGenKind::FlexVecAdaptive)
+    return false;
+  const uint64_t Base = driver::dispatch::CellAddr;
+  const auto Rd = [&](int64_t Off) {
+    return static_cast<uint64_t>(
+        M.get<int64_t>(Base + static_cast<uint64_t>(Off)));
+  };
+  Out.State = Rd(driver::dispatch::StateOff);
+  Out.Invocations = Rd(driver::dispatch::InvocationsOff);
+  Out.AbortedInvocations = Rd(driver::dispatch::AbortedOff);
+  Out.AbortEvents = Rd(driver::dispatch::AbortEventsOff);
+  Out.GuardPass = Rd(driver::dispatch::GuardPassOff);
+  Out.GuardFail = Rd(driver::dispatch::GuardFailOff);
+  Out.Demotions = Rd(driver::dispatch::DemotionsOff);
+  M.unmap(Base, driver::dispatch::CellSize);
+  return true;
+}
+
 RunOutcome core::runProgram(const codegen::CompiledLoop &CL,
                             const mem::Memory &BaseImage, const Bindings &B,
                             emu::TraceSink *Sink, uint64_t MaxInstructions) {
   RunOutcome Out;
   mem::Memory M = BaseImage.clone();
+  setUpDispatchCell(CL, M);
   emu::Machine Machine(M);
   for (size_t S = 0; S < B.ScalarValues.size(); ++S)
     Machine.setScalar(codegen::scalarParamReg(static_cast<int>(S)).Index,
@@ -28,6 +57,7 @@ RunOutcome core::runProgram(const codegen::CompiledLoop &CL,
   Out.Ok = Out.Exec.Reason == emu::StopReason::Halted;
   if (!Out.Ok)
     Out.Error = Out.Exec.describe();
+  Out.HasDispatch = tearDownDispatchCell(CL, M, Out.Dispatch);
   Out.MemFingerprint = M.fingerprint();
   for (size_t S = 0; S < B.ScalarValues.size(); ++S)
     Out.LiveOuts.push_back(Machine.getScalar(
@@ -75,6 +105,7 @@ RunOutcome core::runProgramMulti(const LoopFunction &F,
   RunOutcome Out;
   Out.Ok = true;
   mem::Memory M = BaseImage.clone();
+  setUpDispatchCell(CL, M);
   emu::Machine Machine(M);
   emu::RunLimits Limits;
   Limits.MaxInstructions = MaxInstructionsPerRun;
@@ -101,6 +132,7 @@ RunOutcome core::runProgramMulti(const LoopFunction &F,
   }
   Out.Tx = Machine.txStats();
   Out.Mem = M.stats();
+  Out.HasDispatch = tearDownDispatchCell(CL, M, Out.Dispatch);
   Out.MemFingerprint = M.fingerprint();
   return Out;
 }

@@ -12,6 +12,7 @@
 #define FLEXVEC_CORE_EVALUATOR_H
 
 #include "codegen/Compiled.h"
+#include "driver/AdaptiveStrategy.h"
 #include "emu/Machine.h"
 #include "ir/Interp.h"
 
@@ -31,8 +32,23 @@ struct RunOutcome {
   std::vector<int64_t> LiveOuts;  ///< Raw live-out scalar values, in
                                   ///< scalar-parameter order.
   uint64_t LiveOutHash = 0; ///< Folded live-outs across multi-invocations.
+  /// flexvec-adaptive runs only (HasDispatch): the dispatch-cell counters
+  /// read back after the final invocation.
+  driver::DispatchCounts Dispatch;
+  bool HasDispatch = false;
   std::string Error;
 };
+
+/// Maps the adaptive dispatch-cell page on \p M when \p CL is a
+/// flexvec-adaptive program (no-op otherwise). Must run before the first
+/// invocation; the cell starts zeroed (promoted state).
+void setUpDispatchCell(const codegen::CompiledLoop &CL, mem::Memory &M);
+
+/// Reads the dispatch counters back into \p Out and unmaps the cell page
+/// (so fingerprints stay comparable with the scalar reference). Returns
+/// true when \p CL is flexvec-adaptive. Must run before fingerprint().
+bool tearDownDispatchCell(const codegen::CompiledLoop &CL, mem::Memory &M,
+                          driver::DispatchCounts &Out);
 
 /// Runs \p CL on a clone of \p BaseImage with \p B's inputs. \p Sink
 /// optionally receives the dynamic instruction trace.

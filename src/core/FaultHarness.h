@@ -74,6 +74,28 @@ DiffVerdict runDifferential(const ir::LoopFunction &F,
                             const mem::Memory &BaseImage,
                             const ir::Bindings &B, const FaultPlan &Plan);
 
+/// Multi-invocation counterpart of runProgramWithFaults: one persistent
+/// memory clone, one injector armed across every invocation (so a bounded
+/// TxFaultPlan models a storm that eventually ends), per-invocation
+/// register reset. This is what drives the adaptive dispatch cell through
+/// its whole lifecycle — the cell is mapped before the first invocation
+/// and read back/unmapped before the fingerprint.
+FaultedRun runProgramMultiWithFaults(const ir::LoopFunction &F,
+                                     const codegen::CompiledLoop &CL,
+                                     const mem::Memory &BaseImage,
+                                     const std::vector<ir::Bindings> &Invocations,
+                                     const FaultPlan &Plan);
+
+/// Multi-invocation differential: \p ScalarCL and \p VectorCL each run the
+/// whole invocation sequence under identical fault schedules; outcomes
+/// compare via outcomesMatch (folded live-outs + final fingerprint).
+DiffVerdict runDifferentialMulti(const ir::LoopFunction &F,
+                                 const codegen::CompiledLoop &ScalarCL,
+                                 const codegen::CompiledLoop &VectorCL,
+                                 const mem::Memory &BaseImage,
+                                 const std::vector<ir::Bindings> &Invocations,
+                                 const FaultPlan &Plan);
+
 } // namespace core
 } // namespace flexvec
 

@@ -3,6 +3,7 @@
 #include "core/ParallelEvaluator.h"
 
 #include "core/Evaluator.h"
+#include "core/FaultHarness.h"
 #include "driver/Remarks.h"
 #include "sim/OooCore.h"
 #include "support/Hash.h"
@@ -29,6 +30,8 @@ const char *core::variantName(VariantId V) {
     return "flexvec";
   case VariantId::Rtm:
     return "flexvec-rtm";
+  case VariantId::Adaptive:
+    return "flexvec-adaptive";
   }
   return "?";
 }
@@ -46,6 +49,8 @@ const codegen::CompiledLoop *core::selectVariant(const PipelineResult &PR,
     return PR.FlexVec ? &*PR.FlexVec : nullptr;
   case VariantId::Rtm:
     return PR.Rtm ? &*PR.Rtm : nullptr;
+  case VariantId::Adaptive:
+    return PR.Adaptive ? &*PR.Adaptive : nullptr;
   }
   return nullptr;
 }
@@ -135,7 +140,20 @@ CellResult evalCell(const SweepWorkload &W, VariantId V,
   RunOutcome Out;
   {
     obs::ScopedTimer T(Cell.Times.SimulateMs);
-    Out = runProgramMulti(*W.F, *CL, In.Image, In.Invocations, &Core);
+    if (Opts.FaultSeed) {
+      // Chaos mode: a seeded RTM conflict storm rides through the fault
+      // harness (no trace sink — the timing model stays cold; the cell
+      // carries correctness and emu/rtm/dispatch counters only).
+      FaultPlan Plan;
+      Plan.Tx.Seed = deriveStreamSeed(Opts.FaultSeed, fnv1a64(W.Name));
+      Plan.Tx.AbortProb = 0.5;
+      Plan.Tx.Reason = rtm::AbortReason::Conflict;
+      Out = runProgramMultiWithFaults(*W.F, *CL, In.Image, In.Invocations,
+                                      Plan)
+                .Outcome;
+    } else {
+      Out = runProgramMulti(*W.F, *CL, In.Image, In.Invocations, &Core);
+    }
   }
 
   Cell.Correct = outcomesMatch(*W.F, Ref, Out);
@@ -146,8 +164,9 @@ CellResult evalCell(const SweepWorkload &W, VariantId V,
   Cell.EmuInstructions = Out.Exec.Stats.Instructions;
 
   // Harvest the per-layer stats into this cell's registry. Registration
-  // order is fixed (emu, rtm, sim, mem) so two registries for the same
-  // cell render byte-identically regardless of the worker schedule.
+  // order is fixed (emu, rtm, sim, mem, dispatch) so two registries for
+  // the same cell render byte-identically regardless of the worker
+  // schedule.
   emu::recordMetrics(Out.Exec.Stats, Cell.Metrics);
   rtm::recordMetrics(Out.Tx, Cell.Metrics);
   if (Out.Tx.Begins)
@@ -156,6 +175,18 @@ CellResult evalCell(const SweepWorkload &W, VariantId V,
              static_cast<double>(Out.Tx.Begins));
   sim::recordMetrics(Stats, Cell.Metrics);
   mem::recordMetrics(Out.Mem, Cell.Metrics);
+  if (Out.HasDispatch) {
+    const driver::DispatchCounts &D = Out.Dispatch;
+    Cell.Metrics.counter("dispatch.guard.pass").inc(D.GuardPass);
+    Cell.Metrics.counter("dispatch.guard.fail").inc(D.GuardFail);
+    Cell.Metrics.counter("dispatch.demotions").inc(D.Demotions);
+    Cell.Metrics.counter("dispatch.speculative_invocations")
+        .inc(D.Invocations);
+    // The runtime dispatch story joins the compiler remarks in this
+    // cell's stream: guard outcomes plus the demoted/promoted verdict.
+    for (const driver::Remark &Rk : driver::dispatchRemarks(D))
+      Cell.Remarks.push(Rk.toJson());
+  }
   return Cell;
 }
 

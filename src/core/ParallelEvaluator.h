@@ -1,10 +1,10 @@
 //===- core/ParallelEvaluator.h - Parallel evaluation engine ----*- C++ -*-===//
 //
 // The parallel evaluation engine behind `flexvec-bench` and the --jobs
-// flags: fans a workload x 5-variant matrix (for the paper evaluation,
+// flags: fans a workload x 6-variant matrix (for the paper evaluation,
 // the 18 Table 2 workloads) out over a deterministic thread pool as
 // independent (compile -> emulate -> simulate) jobs, with a
-// content-addressed compiled-loop cache so the five variant cells of one
+// content-addressed compiled-loop cache so the six variant cells of one
 // workload — and repeated sweeps — compile once.
 //
 // Determinism contract: every aggregated number (cycles, speedups,
@@ -39,15 +39,16 @@
 namespace flexvec {
 namespace core {
 
-/// The five code variants of the evaluation matrix, in column order.
+/// The six code variants of the evaluation matrix, in column order.
 enum class VariantId : uint8_t {
   Scalar = 0,
   Traditional,
   Speculative,
   FlexVec,
   Rtm,
+  Adaptive,
 };
-inline constexpr unsigned NumVariants = 5;
+inline constexpr unsigned NumVariants = 6;
 
 const char *variantName(VariantId V);
 
@@ -80,6 +81,12 @@ struct SweepOptions {
   double Scale = 1.0; ///< Recorded in the result (workload sizing).
   unsigned Trips = 1; ///< Whole-matrix repetitions (cache reuse check).
   unsigned RtmTile = codegen::DefaultRtmTile;
+  /// Chaos mode: when non-zero, every cell runs under a seeded RTM
+  /// conflict-abort storm (probability 0.5, derived per workload from this
+  /// seed) through the fault harness. Timing-model cycles are not
+  /// collected in this mode; correctness still compares against the
+  /// reference interpreter. 0 = off (the normal sweep).
+  uint64_t FaultSeed = 0;
 };
 
 /// Wall-clock stage breakdown of one cell, in milliseconds. Excluded from

@@ -163,6 +163,11 @@ public:
         R.Diagnostics.push_back("flexvec: " + Last.Message);
     }
     R.Rtm = lower(Ctx, CodeGenKind::FlexVecRtm);
+    {
+      std::unique_ptr<LoweringStrategy> S =
+          createAdaptiveStrategy(Ctx.Opts.Adaptive);
+      R.Adaptive = lowerLoop(Ctx.F, R.Plan, Ctx.Opts.RtmTile, *S, R.Remarks);
+    }
   }
 
 private:
@@ -217,6 +222,7 @@ public:
     verify(Ctx, "speculative", R.Speculative);
     verify(Ctx, "flexvec", R.FlexVec);
     verify(Ctx, "flexvec-rtm", R.Rtm);
+    verify(Ctx, "flexvec-adaptive", R.Adaptive);
     verify(Ctx, "flexvec-opt", R.FlexVecOpt);
   }
 

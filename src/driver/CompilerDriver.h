@@ -19,6 +19,7 @@
 #include "analysis/Patterns.h"
 #include "codegen/Compiled.h"
 #include "codegen/Peephole.h"
+#include "driver/AdaptiveStrategy.h"
 #include "driver/Pass.h"
 #include "driver/Remarks.h"
 
@@ -40,6 +41,8 @@ namespace driver {
 /// Driver configuration.
 struct DriverOptions {
   unsigned RtmTile = codegen::DefaultRtmTile;
+  /// Thresholds compiled into the flexvec-adaptive dispatch prologue.
+  AdaptiveConfig Adaptive;
   /// When the post-codegen program verifier runs. Auto means "debug builds
   /// always; release builds when FLEXVEC_VERIFY is set" (see
   /// driver/Verifier.h).
@@ -56,6 +59,9 @@ struct CompileResult {
   std::optional<codegen::CompiledLoop> Speculative;
   std::optional<codegen::CompiledLoop> FlexVec;
   std::optional<codegen::CompiledLoop> Rtm;
+  /// Multi-versioned program: speculative + demoted variant behind the
+  /// runtime dispatch guard (see driver/AdaptiveStrategy.h).
+  std::optional<codegen::CompiledLoop> Adaptive;
   /// FlexVec program after the downstream peephole passes (Section 3.7's
   /// "down-stream passes of the compiler"); kept separate so the ablation
   /// benchmark can compare.

@@ -10,6 +10,7 @@
 #include "driver/LoweringStrategy.h"
 
 #include "codegen/ScalarCodeGen.h"
+#include "driver/AdaptiveStrategy.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -64,6 +65,27 @@ void declineRemark(LoweringContext &Ctx, const char *Strategy, std::string Id,
                    std::string Message) {
   Ctx.Remarks.missed("lower", std::move(Id), std::move(Message)).Variant =
       Strategy;
+}
+
+/// When lowering under the adaptive dispatcher, entering a scalar fallback
+/// marks one aborted speculative attempt: bump the dispatch cell's
+/// abort-event word so the next invocation's prologue can charge it.
+/// Both call sites sit at the very top of a fallback block, before the
+/// scalar emitter's scratch pool is live, so r25..r27 are free.
+void bumpAbortEvents(LoweringContext &Ctx) {
+  if (!Ctx.DispatchCellAddr)
+    return;
+  ProgramBuilder &B = Ctx.B;
+  Reg Cell = Reg::scalar(25);
+  Reg Zero = Reg::scalar(26);
+  Reg Val = Reg::scalar(27);
+  B.movImm(Cell, static_cast<int64_t>(Ctx.DispatchCellAddr)).Comment =
+      "dispatch cell base";
+  B.movImm(Zero, 0);
+  B.load(Val, ElemType::I64, Cell, Zero, 1, dispatch::AbortEventsOff);
+  B.binOpImm(Opcode::AddImm, Val, Val, 1).Comment =
+      "dispatch: abort_events++";
+  B.store(ElemType::I64, Cell, Zero, 1, dispatch::AbortEventsOff, Val);
 }
 
 // --- IR walking helpers shared by the speculative legality checks ---------===//
@@ -217,6 +239,7 @@ public:
     // chunk-entry scalar state (no side effects have committed when a
     // first-faulting check bails).
     Ctx.B.bind(ScalarEntry);
+    bumpAbortEvents(Ctx);
     codegen::emitScalarLoopBody(Ctx.B, Ctx.F, Ctx.trip(), Ctx.HaltL);
   }
 
@@ -289,8 +312,10 @@ public:
   void emitResumeBlocks(LoweringContext &Ctx) override {
     // Abort handler: registers (including i and the scalar images) were
     // rolled back to the XBEGIN point and memory was restored; re-execute
-    // the tile in scalar, then resume vector execution.
+    // the tile in scalar, then resume vector execution. The handler runs
+    // outside any transaction, so the dispatch-cell bump survives.
     Ctx.B.bind(AbortHandler);
+    bumpAbortEvents(Ctx);
     codegen::emitScalarLoopBody(Ctx.B, Ctx.F, TileEnd, Ctx.VecExit);
     Ctx.B.jmp(Outer);
   }
@@ -554,23 +579,19 @@ std::unique_ptr<LoweringStrategy> driver::createStrategy(CodeGenKind Kind) {
     return std::make_unique<FlexVecStrategy>();
   case CodeGenKind::FlexVecRtm:
     return std::make_unique<RtmStrategy>();
+  case CodeGenKind::FlexVecAdaptive:
+    return createAdaptiveStrategy();
   case CodeGenKind::Scalar:
     break; // Scalar codegen is not an Algorithm-1 strategy.
   }
   fatalError("no lowering strategy for this CodeGenKind");
 }
 
-std::optional<CompiledLoop>
-driver::lowerLoop(const LoopFunction &F, const VectorizationPlan &Plan,
-                  unsigned RtmTile, LoweringStrategy &S,
-                  RemarkStream &Remarks) {
-  LoweringContext Ctx(F, Plan, RtmTile, Remarks);
-  if (!S.prepare(Ctx))
-    return std::nullopt; // The strategy has already remarked the decline.
-
+std::string driver::emitSkeletonBody(LoweringContext &Ctx,
+                                     LoweringStrategy &S) {
   Ctx.VecExit = Ctx.B.createLabel();
   Ctx.HaltL = Ctx.B.createLabel();
-  VectorEmitter Em(Ctx.B, F, Plan, S.emitterOptions(Ctx));
+  VectorEmitter Em(Ctx.B, Ctx.F, Ctx.Plan, S.emitterOptions(Ctx));
   Ctx.Em = &Em;
 
   Em.emitPreheader();         // 1. broadcast invariants, init accumulators
@@ -582,10 +603,22 @@ driver::lowerLoop(const LoopFunction &F, const VectorizationPlan &Plan,
   Ctx.B.bind(Ctx.HaltL);
   Ctx.B.halt();               // 6. done
 
+  // Notes must be composed while the emitter is still alive.
+  return S.notes(Ctx);
+}
+
+std::optional<CompiledLoop>
+driver::lowerLoop(const LoopFunction &F, const VectorizationPlan &Plan,
+                  unsigned RtmTile, LoweringStrategy &S,
+                  RemarkStream &Remarks) {
+  LoweringContext Ctx(F, Plan, RtmTile, Remarks);
+  if (!S.prepare(Ctx))
+    return std::nullopt; // The strategy has already remarked the decline.
+
   CompiledLoop Out;
+  Out.Notes = emitSkeletonBody(Ctx, S);
   Out.Kind = S.kind();
   Out.Prog = Ctx.B.finalize();
-  Out.Notes = S.notes(Ctx);
   Remarks.applied("lower", "vectorized", Out.Notes).Variant = S.name();
   return Out;
 }

@@ -60,6 +60,11 @@ struct LoweringContext {
   /// Bound by the skeleton: the live-out block and the final halt.
   isa::ProgramBuilder::Label VecExit = 0;
   isa::ProgramBuilder::Label HaltL = 0;
+  /// Non-zero only under the adaptive strategy: base address of the
+  /// persistent dispatch cell. Strategies whose resume/fallback blocks mark
+  /// an aborted speculative attempt bump the cell's abort-event counter
+  /// when this is set; normal lowering (0) is byte-identical to before.
+  uint64_t DispatchCellAddr = 0;
 
   LoweringContext(const ir::LoopFunction &F,
                   const analysis::VectorizationPlan &Plan, unsigned RtmTile,
@@ -135,8 +140,18 @@ public:
   virtual std::string notes(const LoweringContext &Ctx) const = 0;
 };
 
-/// Creates the strategy for \p Kind (one of the four vector variants).
+/// Creates the strategy for \p Kind (one of the five vector variants; the
+/// adaptive strategy is built with its default configuration — use
+/// createAdaptiveStrategy for a custom one).
 std::unique_ptr<LoweringStrategy> createStrategy(codegen::CodeGenKind Kind);
+
+/// The body of the Algorithm-1 skeleton: creates fresh VecExit/HaltL labels
+/// on \p Ctx, constructs the emitter from \p S's options, and emits
+/// preheader | nest | resume | live-outs | tail | halt. Returns the
+/// strategy's notes (computed while the emitter is still alive). Exposed so
+/// the adaptive strategy can nest a complete traditional skeleton behind
+/// its dispatch guard; \p S must already have prepare()d successfully.
+std::string emitSkeletonBody(LoweringContext &Ctx, LoweringStrategy &S);
 
 /// THE Algorithm-1 driver: runs \p S through the shared skeleton. Returns
 /// nullopt when the strategy declines (after it has emitted a Missed

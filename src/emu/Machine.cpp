@@ -8,11 +8,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 using namespace flexvec;
 using namespace flexvec::emu;
 using namespace flexvec::isa;
+
+unsigned emu::defaultRtmRetries() {
+  static const unsigned Cached = [] {
+    if (const char *Env = std::getenv("FLEXVEC_RTM_RETRIES")) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Env, &End, 10);
+      if (End && *End == '\0' && V <= 1u << 20)
+        return static_cast<unsigned>(V);
+    }
+    return 4u;
+  }();
+  return Cached;
+}
 
 TraceSink::~TraceSink() = default;
 
@@ -43,6 +57,7 @@ void ExecStats::merge(const ExecStats &O) {
   VectorOps += O.VectorOps;
   RtmRetries += O.RtmRetries;
   RtmFallbacks += O.RtmFallbacks;
+  RtmBudgetExhausted += O.RtmBudgetExhausted;
   BackoffCycles += O.BackoffCycles;
   TraceBatches += O.TraceBatches;
   VplSteps += O.VplSteps;
@@ -1008,9 +1023,12 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
       if (rtm::isRetryableAbort(Why) && TxAttempts < Limits.MaxRtmRetries) {
         ++TxAttempts;
         ++Stats.RtmRetries;
-        Stats.BackoffCycles += 1ULL << std::min(TxAttempts, 16u);
+        Stats.BackoffCycles +=
+            1ULL << std::min(TxAttempts, Limits.MaxRtmBackoffShift);
         NextPC = TxBeginPC; // Re-execute the XBEGIN.
       } else {
+        if (rtm::isRetryableAbort(Why))
+          ++Stats.RtmBudgetExhausted; // Retryable, but the budget ran out.
         TxAttempts = 0;
         ++Stats.RtmFallbacks;
         NextPC = static_cast<uint32_t>(TxAbortTarget);
@@ -1080,6 +1098,7 @@ void emu::recordMetrics(const ExecStats &S, obs::Registry &R) {
   R.counter("emu.conflict.hits").inc(S.ConflictHits);
   R.counter("emu.rtm.retries").inc(S.RtmRetries);
   R.counter("emu.rtm.fallbacks").inc(S.RtmFallbacks);
+  R.counter("emu.rtm.budget_exhausted").inc(S.RtmBudgetExhausted);
   R.counter("emu.rtm.backoff_cycles").inc(S.BackoffCycles);
   R.counter("emu.trace.batches").inc(S.TraceBatches);
   obs::Histogram &MD =

@@ -96,6 +96,9 @@ struct ExecStats {
   uint64_t VectorOps = 0;     ///< Instructions with isVector() semantics.
   uint64_t RtmRetries = 0;   ///< Aborted transactions re-executed in place.
   uint64_t RtmFallbacks = 0; ///< Aborts dispatched to the abort handler.
+  /// Fallbacks caused specifically by a *retryable* abort running out of
+  /// retry budget (the demotion-relevant subset of RtmFallbacks).
+  uint64_t RtmBudgetExhausted = 0;
   uint64_t BackoffCycles = 0; ///< Simulated stall cycles between retries.
   uint64_t TraceBatches = 0; ///< onBatch deliveries (0 without a sink).
 
@@ -158,6 +161,10 @@ struct ExecResult {
   std::string describe() const;
 };
 
+/// Default RTM retry budget: the FLEXVEC_RTM_RETRIES environment variable
+/// when set to a non-negative integer, else 4. Read once per process.
+unsigned defaultRtmRetries();
+
 /// Execution budget and resilience policy.
 struct RunLimits {
   /// Instruction-budget watchdog: stops runaway loops (a Vector
@@ -168,8 +175,12 @@ struct RunLimits {
   /// (conflict/spurious) is re-executed from XBEGIN up to this many times
   /// with exponential backoff before control dispatches to the abort
   /// target (the compiled scalar fallback). Deterministic aborts (fault,
-  /// capacity, explicit, nested) dispatch immediately.
-  unsigned MaxRtmRetries = 4;
+  /// capacity, explicit, nested) dispatch immediately. Defaults to the
+  /// FLEXVEC_RTM_RETRIES environment variable when set, else 4.
+  unsigned MaxRtmRetries = defaultRtmRetries();
+  /// Cap on the exponential-backoff shift: retry k stalls 2^min(k, cap)
+  /// simulated cycles.
+  unsigned MaxRtmBackoffShift = 16;
 };
 
 /// The architectural machine.

@@ -211,7 +211,11 @@ public:
   }
 
 private:
-  static constexpr int MaxDepth = 128;
+  /// Containers may nest this deep before the parser refuses (with the
+  /// byte offset of the container that crossed the line). 256 frames of
+  /// value/object recursion stay far below any platform stack limit while
+  /// admitting every payload this project produces.
+  static constexpr int MaxDepth = 256;
 
   bool fail(const std::string &Msg) {
     Err = Msg + " at offset " + std::to_string(P - Begin);

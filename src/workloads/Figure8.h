@@ -26,7 +26,7 @@ struct Figure8Suite {
 
 Figure8Suite buildFigure8Suite(double IterationScale = 1.0);
 
-/// Runs the full 18 x 5 Figure 8 / Table 2 sweep with \p Opts (Opts.Scale
+/// Runs the full 18 x 6 Figure 8 / Table 2 sweep with \p Opts (Opts.Scale
 /// sizes the workloads). \p Cache optionally persists compiled loops
 /// across sweeps.
 core::SweepResult runFigure8Sweep(const core::SweepOptions &Opts,

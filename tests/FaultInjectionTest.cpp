@@ -158,6 +158,70 @@ TEST(FaultDifferential, InjectedTxAbortsAreAbsorbedByRetryAndFallback) {
   EXPECT_TRUE(SawRtm) << "no loop produced an RTM variant";
 }
 
+// --- Adaptive dispatch under fault storms ---------------------------------===//
+
+namespace {
+
+/// The paper loops as multi-invocation sequences long enough to cross the
+/// adaptive demotion window.
+std::vector<ir::Bindings> repeated(const ir::Bindings &B, size_t Count) {
+  return std::vector<ir::Bindings>(Count, B);
+}
+
+} // namespace
+
+// A spurious-abort storm raging while invocations pass the preheader
+// guard: the adaptive program must charge the aborts, demote inside the
+// window, and stay bit-identical to scalar throughout.
+TEST(FaultDifferential, SpuriousAbortStormDuringGuardedInvocationsDemotes) {
+  for (LoopCase &C : buildPaperLoops(31)) {
+    if (!C.PR.Adaptive || !C.PR.Rtm) // Tx storms need a transactional side.
+      continue;
+    core::FaultPlan Plan;
+    Plan.Tx.Seed = 31;
+    Plan.Tx.AbortProb = 0.9;
+    Plan.Tx.Reason = rtm::AbortReason::Spurious;
+    std::vector<ir::Bindings> Invocations = repeated(C.In.B, 12);
+    core::DiffVerdict V = core::runDifferentialMulti(
+        *C.F, C.PR.Scalar, *C.PR.Adaptive, C.In.Image, Invocations, Plan);
+    ASSERT_TRUE(V.Equivalent) << C.Name << ": " << V.describe();
+    ASSERT_TRUE(V.Vector.Outcome.HasDispatch) << C.Name;
+    const driver::DispatchCounts &D = V.Vector.Outcome.Dispatch;
+    EXPECT_GT(D.GuardPass, 0u)
+        << C.Name << ": the storm must hit guard-passing invocations";
+    EXPECT_EQ(D.Demotions, 1u) << C.Name;
+    EXPECT_EQ(D.State, 1u) << C.Name;
+  }
+}
+
+// A storm that ends right after demotion: the program must NOT re-promote
+// when the weather clears — demotion is permanent for the program's
+// lifetime — and the final state must still be exact.
+TEST(FaultDifferential, DemoteThenRecoverStaysDemotedAndExact) {
+  for (LoopCase &C : buildPaperLoops(32)) {
+    if (!C.PR.Adaptive || !C.PR.Rtm)
+      continue;
+    core::FaultPlan Plan;
+    Plan.Tx.Seed = 32;
+    Plan.Tx.AbortProb = 1.0;
+    Plan.Tx.Reason = rtm::AbortReason::Conflict;
+    // Enough injections to abort every tile of the first ~9 invocations
+    // (driving demotion), then the storm ends and the world is calm for
+    // the remaining invocations.
+    Plan.Tx.MaxInjected = 2000;
+    std::vector<ir::Bindings> Invocations = repeated(C.In.B, 16);
+    core::DiffVerdict V = core::runDifferentialMulti(
+        *C.F, C.PR.Scalar, *C.PR.Adaptive, C.In.Image, Invocations, Plan);
+    ASSERT_TRUE(V.Equivalent) << C.Name << ": " << V.describe();
+    ASSERT_TRUE(V.Vector.Outcome.HasDispatch) << C.Name;
+    const driver::DispatchCounts &D = V.Vector.Outcome.Dispatch;
+    EXPECT_EQ(D.Demotions, 1u)
+        << C.Name << ": one demotion, no flapping after the storm ends";
+    EXPECT_EQ(D.State, 1u)
+        << C.Name << ": must stay demoted once the abort budget was burned";
+  }
+}
+
 // --- Resilience policy, machine level ------------------------------------===//
 
 namespace {
@@ -248,6 +312,8 @@ TEST_F(ResilienceTest, ThousandConsecutiveAbortsFallBackAndSurvive) {
       << R.describe();
   EXPECT_EQ(Mach.getScalar(3), 1000) << "every iteration fell back";
   EXPECT_EQ(R.Stats.RtmFallbacks, 1000u);
+  EXPECT_EQ(R.Stats.RtmBudgetExhausted, 1000u)
+      << "every fallback here came from burning the retry budget";
   EXPECT_EQ(R.Stats.RtmRetries, 4000u) << "4 bounded retries per iteration";
   EXPECT_GT(R.Stats.BackoffCycles, 0u);
   EXPECT_EQ(Inj.stats().TxAbortsInjected, 5000u);

@@ -289,4 +289,34 @@ TEST(JsonParse, DuplicateKeysKeepLastMatchingSet) {
   EXPECT_EQ(V.find("k")->asUInt(), 2u);
 }
 
+TEST(JsonParse, NestingDepthIsBoundedWithByteOffset) {
+  // A hostile 10k-deep array must fail with a structured depth error (and
+  // the byte offset of the bracket that crossed the limit), not crash the
+  // recursive-descent reader by exhausting the stack.
+  std::string Deep(10000, '[');
+  Deep += "1";
+  Deep.append(10000, ']');
+  Json V;
+  std::string Err;
+  EXPECT_FALSE(Json::parse(Deep, V, Err));
+  EXPECT_NE(Err.find("nest"), std::string::npos)
+      << "depth error should name nesting: " << Err;
+  EXPECT_NE(Err.find("offset"), std::string::npos)
+      << "depth error lacks a byte offset: " << Err;
+
+  // Real payloads stay far under the limit: 200 levels parse fine.
+  std::string Fine(200, '[');
+  Fine += "1";
+  Fine.append(200, ']');
+  ASSERT_TRUE(Json::parse(Fine, V, Err)) << Err;
+  // And exercise mixed object/array nesting at a depth benchdiff can hit.
+  std::string Mixed;
+  for (int I = 0; I < 100; ++I)
+    Mixed += "{\"k\": [";
+  Mixed += "true";
+  for (int I = 0; I < 100; ++I)
+    Mixed += "]}";
+  ASSERT_TRUE(Json::parse(Mixed, V, Err)) << Err;
+}
+
 } // namespace

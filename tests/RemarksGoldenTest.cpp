@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "driver/AdaptiveStrategy.h"
 #include "driver/Remarks.h"
 #include "ir/Parser.h"
 
@@ -164,6 +165,7 @@ TEST_P(RemarksGolden, EveryDeclineIsObservable) {
       {"speculative", PR.Speculative.has_value()},
       {"flexvec", PR.FlexVec.has_value()},
       {"flexvec-rtm", PR.Rtm.has_value()},
+      {"flexvec-adaptive", PR.Adaptive.has_value()},
   };
   for (const Column &Col : Columns) {
     bool Applied = false, Missed = false;
@@ -220,6 +222,41 @@ TEST(Remarks, ReductionWithSpeculativeLoadsRefusal) {
   // The legacy CLI diagnostic surface is derived from this same remark.
   ASSERT_EQ(PR.Diagnostics.size(), 1u);
   EXPECT_EQ(PR.Diagnostics[0], "flexvec: " + Decline->Message);
+}
+
+// The three runtime dispatch remark ids are API: obs dashboards and the
+// bench payload key on them, so their ids, pass, and variant tags are
+// pinned here — and the synthesis never goes silent (every adaptive
+// execution yields exactly one demoted-or-stayed verdict).
+TEST(Remarks, DispatchRemarkIdsArePinned) {
+  driver::DispatchCounts C;
+  C.GuardFail = 2;
+  C.Invocations = 8;
+  C.AbortedInvocations = 8;
+  C.Demotions = 1;
+  C.State = 1;
+  std::vector<driver::Remark> Rs = driver::dispatchRemarks(C);
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_EQ(Rs[0].Id, "dispatch.guard-failed");
+  EXPECT_EQ(Rs[0].Pass, "dispatch");
+  EXPECT_EQ(Rs[0].Kind, driver::RemarkKind::Analysis);
+  EXPECT_EQ(Rs[0].Variant, "flexvec-adaptive");
+  EXPECT_EQ(Rs[1].Id, "dispatch.demoted");
+  EXPECT_EQ(Rs[1].Pass, "dispatch");
+  EXPECT_EQ(Rs[1].Kind, driver::RemarkKind::Applied);
+  EXPECT_EQ(Rs[1].Variant, "flexvec-adaptive");
+
+  // Exhaustive verdict coverage: any counter state produces exactly one of
+  // dispatch.demoted / dispatch.promoted-stay — never neither.
+  for (uint64_t State : {0u, 1u}) {
+    driver::DispatchCounts Any;
+    Any.State = State;
+    Any.Demotions = State;
+    std::vector<driver::Remark> Out = driver::dispatchRemarks(Any);
+    ASSERT_EQ(Out.size(), 1u);
+    EXPECT_EQ(Out[0].Id,
+              State ? "dispatch.demoted" : "dispatch.promoted-stay");
+  }
 }
 
 } // namespace

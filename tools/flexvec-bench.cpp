@@ -1,6 +1,6 @@
 //===- tools/flexvec-bench.cpp - Figure 8 sweep driver ---------------------===//
 //
-// Runs the full 18-workload x 5-variant Figure 8 / Table 2 sweep on the
+// Runs the full 18-workload x 6-variant Figure 8 / Table 2 sweep on the
 // parallel evaluation engine and emits the machine-readable trajectory
 // file (BENCH_figure8.json). See docs/EVALUATION.md for the JSON schema
 // and the determinism contract.
@@ -12,6 +12,10 @@
 //     --trips=N       whole-matrix repetitions; trips > 1 exercise the
 //                     compiled-loop cache across sweeps (default 1)
 //     --out=PATH      JSON output path (default BENCH_figure8.json)
+//     --fault-seed=N  chaos mode: run every cell under a seeded RTM
+//                     conflict-abort storm (prob 0.5); also settable via
+//                     the FLEXVEC_FAULT_SEED environment variable (the
+//                     flag wins). 0 = off (default)
 //     --deterministic omit wall-time fields from the JSON (byte-stable
 //                     across worker counts and machines)
 //     --quiet         suppress the human-readable table
@@ -24,6 +28,7 @@
 #include "workloads/Figure8.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -41,11 +46,19 @@ struct BenchOptions {
 void usage(std::FILE *To) {
   std::fprintf(To,
                "usage: flexvec-bench [--jobs=N] [--seed=N] [--scale=X] "
-               "[--trips=N] [--out=PATH] [--deterministic] [--quiet]\n");
+               "[--trips=N] [--out=PATH] [--fault-seed=N] [--deterministic] "
+               "[--quiet]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
   Opts.Sweep.Jobs = 0; // Default: one worker per hardware thread.
+  // Environment default for CI chaos sweeps; an explicit --fault-seed=
+  // flag overrides it.
+  if (const char *Env = std::getenv("FLEXVEC_FAULT_SEED")) {
+    uint64_t U = 0;
+    if (parseUInt(Env, U))
+      Opts.Sweep.FaultSeed = U;
+  }
   for (int A = 1; A < Argc; ++A) {
     std::string Arg = Argv[A];
     uint64_t U = 0;
@@ -78,6 +91,13 @@ bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
         return false;
       }
       Opts.Sweep.Trips = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--fault-seed=", 0) == 0) {
+      if (!parseUInt(Arg.substr(13), U)) {
+        std::fprintf(stderr, "error: --fault-seed expects a non-negative "
+                             "integer, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.FaultSeed = U;
     } else if (Arg.rfind("--out=", 0) == 0) {
       Opts.OutPath = Arg.substr(6);
       if (Opts.OutPath.empty()) {

@@ -88,7 +88,8 @@ void usage(std::FILE *To) {
                "[--set NAME=V] [--fault-diff] [--fault-seed=N] "
                "[--fault-nth=N] [--fault-range=LO:HI:PROB[:DUR]] "
                "[--tx-abort-nth=N] [--tx-abort-prob=P] "
-               "[--tx-abort-reason=R] [--rtm-retries=N] [--budget=N]\n");
+               "[--tx-abort-reason=R] [--rtm-retries=N] "
+               "[--rtm-retry-budget=N] [--budget=N]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -176,6 +177,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
     } else if (Arg.rfind("--rtm-retries=", 0) == 0) {
       if (!parseUInt(Arg.substr(14), U))
+        return badValue(Arg, "a non-negative integer");
+      Opts.Faults.MaxRtmRetries = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--rtm-retry-budget=", 0) == 0) {
+      // Alias of --rtm-retries, matching the FLEXVEC_RTM_RETRIES env knob.
+      if (!parseUInt(Arg.substr(19), U))
         return badValue(Arg, "a non-negative integer");
       Opts.Faults.MaxRtmRetries = static_cast<unsigned>(U);
     } else if (Arg.rfind("--budget=", 0) == 0) {
@@ -309,6 +315,7 @@ int runLoop(const ir::LoopFunction &F, const core::PipelineResult &PR,
   addVariant("flexvec", PR.FlexVec);
   addVariant("flexvec-opt", PR.FlexVecOpt);
   addVariant("flexvec-rtm", PR.Rtm);
+  addVariant("flexvec-adaptive", PR.Adaptive);
 
   ThreadPool Pool(Opts.Jobs);
   std::vector<core::Measurement> Ms =
@@ -354,6 +361,7 @@ int runFaultDiff(const ir::LoopFunction &F, const core::PipelineResult &PR,
   diffOne("flexvec", PR.FlexVec);
   diffOne("flexvec-opt", PR.FlexVecOpt);
   diffOne("flexvec-rtm", PR.Rtm);
+  diffOne("flexvec-adaptive", PR.Adaptive);
 
   if (Divergences) {
     std::printf("\n%d variant(s) diverged from scalar under faults\n",
@@ -412,6 +420,7 @@ int main(int Argc, char **Argv) {
     dumpVariant("flexvec", PR.FlexVec);
     dumpVariant("flexvec-opt", PR.FlexVecOpt);
     dumpVariant("flexvec-rtm", PR.Rtm);
+    dumpVariant("flexvec-adaptive", PR.Adaptive);
   } else if (PR.FlexVec) {
     dumpVariant("flexvec", PR.FlexVec);
   }
