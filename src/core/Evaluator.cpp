@@ -72,8 +72,11 @@ RunOutcome core::runReference(const LoopFunction &F,
   mem::Memory M = BaseImage.clone();
   Bindings Work = B;
   Interpreter Interp(M);
-  Interp.run(F, Work);
-  Out.Ok = true;
+  InterpResult R = Interp.run(F, Work);
+  Out.Ok = !R.Faulted;
+  if (R.Faulted)
+    Out.Error = "reference memory fault at address " +
+                std::to_string(R.FaultAddr);
   Out.MemFingerprint = M.fingerprint();
   Out.LiveOuts = Work.ScalarValues;
   return Out;
@@ -146,7 +149,13 @@ RunOutcome core::runReferenceMulti(const LoopFunction &F,
   Interpreter Interp(M);
   for (const Bindings &B : Invocations) {
     Bindings Work = B;
-    Interp.run(F, Work);
+    InterpResult R = Interp.run(F, Work);
+    if (R.Faulted) {
+      Out.Ok = false;
+      Out.Error = "reference memory fault at address " +
+                  std::to_string(R.FaultAddr);
+      break;
+    }
     Out.LiveOuts = Work.ScalarValues;
     Out.LiveOutHash = foldLiveOuts(F, Out.LiveOutHash, Out.LiveOuts);
   }

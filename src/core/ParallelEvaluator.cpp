@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <mutex>
 
@@ -237,7 +238,16 @@ SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
   // Ordered fan-in: speedups against the scalar column, then the group
   // geomeans over the FlexVec column — all reductions walk the cells in
   // matrix order so the aggregates are independent of worker scheduling.
-  std::vector<double> SpecOverall, AppsOverall;
+  // Groups accumulate by name in first-seen order, so imported kernel
+  // families fan into their own geomeans instead of polluting SPEC/APPS.
+  std::vector<std::pair<std::string, std::vector<double>>> ByGroup;
+  auto groupBucket = [&](const std::string &G) -> std::vector<double> & {
+    for (auto &Entry : ByGroup)
+      if (Entry.first == G)
+        return Entry.second;
+    ByGroup.emplace_back(G, std::vector<double>());
+    return ByGroup.back().second;
+  };
   for (size_t W = 0; W < Workloads.size(); ++W) {
     const CellResult &Scalar = R.Cells[W * NumVariants];
     for (unsigned V = 0; V < NumVariants; ++V) {
@@ -248,12 +258,17 @@ SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
                         static_cast<double>(Cell.Cycles);
       Cell.Overall = coverageScaledSpeedup(Cell.HotSpeedup, Cell.Coverage);
       if (V == static_cast<unsigned>(VariantId::FlexVec))
-        (Cell.Group == "SPEC" ? SpecOverall : AppsOverall)
-            .push_back(Cell.Overall);
+        groupBucket(Cell.Group).push_back(Cell.Overall);
     }
   }
-  R.SpecGeomean = geomean(SpecOverall);
-  R.AppsGeomean = geomean(AppsOverall);
+  for (const auto &Entry : ByGroup) {
+    double G = geomean(Entry.second);
+    R.GroupGeomeans.emplace_back(Entry.first, G);
+    if (Entry.first == "SPEC")
+      R.SpecGeomean = G;
+    else if (Entry.first == "APPS")
+      R.AppsGeomean = G;
+  }
   R.CacheHits = C.hits() - Hits0;
   R.CacheMisses = C.misses() - Misses0;
   R.WallSeconds = msSince(Start) / 1000.0;
@@ -298,6 +313,17 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
   Json Geo = Json::object();
   Geo.set("spec", R.SpecGeomean);
   Geo.set("apps", R.AppsGeomean);
+  // Additional groups (imported kernel families) follow the two legacy
+  // keys, lowercased, in first-seen matrix order. Additive vs the v2
+  // baseline: benchdiff walks baseline keys only.
+  for (const auto &Entry : R.GroupGeomeans) {
+    if (Entry.first == "SPEC" || Entry.first == "APPS")
+      continue;
+    std::string Key = Entry.first;
+    for (char &Ch : Key)
+      Ch = static_cast<char>(std::tolower(static_cast<unsigned char>(Ch)));
+    Geo.set(Key, Entry.second);
+  }
   Doc.set("geomean_overall_speedup", std::move(Geo));
 
   // Sweep-level metric aggregate: per-cell registries merged in matrix

@@ -68,7 +68,7 @@ struct WorkloadInstance {
 /// reads its captures and draws from the Rng it is handed).
 struct SweepWorkload {
   std::string Name;
-  std::string Group; ///< "SPEC" or "APPS".
+  std::string Group; ///< "SPEC", "APPS", or an imported kernel family.
   double Coverage = 0;
   double PaperSpeedup = 0;
   const ir::LoopFunction *F = nullptr;
@@ -132,6 +132,10 @@ struct SweepResult {
   std::vector<CellResult> Cells;
   double SpecGeomean = 0; ///< Over FlexVec overall speedups, SPEC group.
   double AppsGeomean = 0; ///< Over FlexVec overall speedups, apps group.
+  /// Geomean of FlexVec overall speedups per group, every group, in
+  /// first-seen matrix order. SPEC and APPS appear here too (identical to
+  /// the mirrors above); imported kernel families add their own entries.
+  std::vector<std::pair<std::string, double>> GroupGeomeans;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   /// Schedule-dependent pipeline observability (excluded from the

@@ -1,0 +1,245 @@
+//===- gen/Gen.cpp --------------------------------------------------------===//
+
+#include "gen/Gen.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace flexvec;
+using namespace flexvec::gen;
+using namespace flexvec::ir;
+using isa::CmpKind;
+using isa::ElemType;
+
+Envelope Envelope::classic() { return Envelope(); }
+
+Envelope Envelope::widened() {
+  Envelope E;
+  E.NestedIndexProb = 0.35;
+  E.StrideLoadProb = 0.25;
+  E.AffineOffsetProb = 0.25;
+  E.AffineStoreProb = 0.35;
+  return E;
+}
+
+namespace {
+
+/// Expression sampler over the declared parameters. Every subscript it can
+/// form is in bounds for arrays sized per InputPlan: affine reads reach at
+/// most i + MaxAffineOffset, strided and indirect reads are masked to
+/// [0, IndexMask].
+struct ExprGen {
+  Rng &R;
+  LoopFunction &F;
+  const Envelope &E;
+  std::vector<int> ReadableScalars; ///< Defined-before-use values.
+  std::vector<int> RoArrays;
+
+  const Expr *arrayRead(int Depth) {
+    int A = RoArrays[R.nextBelow(RoArrays.size())];
+    // Subscript-shape rolls in a fixed order so a given seed always
+    // consumes the same stream no matter which knobs are zero.
+    if (R.nextBool(E.StrideLoadProb)) {
+      int64_t Stride = R.nextInRange(2, 4);
+      int64_t Off = R.nextInRange(0, 7);
+      const Expr *Idx = F.binary(
+          BinOp::And,
+          F.binary(BinOp::Add,
+                   F.binary(BinOp::Mul, F.indexRef(),
+                            F.constInt(ElemType::I32, Stride)),
+                   F.constInt(ElemType::I32, Off)),
+          F.constInt(ElemType::I32, E.IndexMask));
+      return F.arrayRef(A, Idx);
+    }
+    if (R.nextBool(E.IndirectLoadProb)) {
+      const Expr *Inner;
+      if (Depth > 0 && R.nextBool(E.NestedIndexProb)) {
+        // Gather chain: the index is itself an affine read.
+        int B = RoArrays[R.nextBelow(RoArrays.size())];
+        Inner = F.arrayRef(B, F.indexRef());
+      } else {
+        Inner = randomValue(0);
+      }
+      const Expr *Idx = F.binary(BinOp::And, Inner,
+                                 F.constInt(ElemType::I32, E.IndexMask));
+      return F.arrayRef(A, Idx);
+    }
+    if (R.nextBool(E.AffineOffsetProb)) {
+      int64_t Off = R.nextInRange(1, std::max(1, E.MaxAffineOffset));
+      return F.arrayRef(
+          A, F.binary(BinOp::Add, F.indexRef(),
+                      F.constInt(ElemType::I32, Off)));
+    }
+    return F.arrayRef(A, F.indexRef());
+  }
+
+  const Expr *randomValue(int Depth) {
+    switch (R.nextBelow(Depth <= 0 ? 3 : 5)) {
+    case 0:
+      return F.constInt(ElemType::I32, R.nextInRange(-20, 20));
+    case 1:
+      return F.scalarRef(
+          ReadableScalars[R.nextBelow(ReadableScalars.size())]);
+    case 2:
+      return arrayRead(Depth);
+    case 3: {
+      BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Min, BinOp::Max};
+      return F.binary(Ops[R.nextBelow(4)], randomValue(Depth - 1),
+                      randomValue(Depth - 1));
+    }
+    default:
+      return F.binary(BinOp::Mul, randomValue(Depth - 1),
+                      F.constInt(ElemType::I32, R.nextInRange(1, 4)));
+    }
+  }
+
+  const Expr *randomCond(int Depth) {
+    CmpKind Kinds[] = {CmpKind::LT, CmpKind::LE, CmpKind::GT,
+                       CmpKind::GE, CmpKind::EQ, CmpKind::NE};
+    return F.compare(Kinds[R.nextBelow(6)], randomValue(Depth),
+                     randomValue(Depth));
+  }
+};
+
+} // namespace
+
+GeneratedLoop gen::generateLoop(uint64_t Seed, const Envelope &E) {
+  Rng R(Seed);
+  GeneratedLoop Out;
+  Out.Seed = Seed;
+  Out.F = std::make_unique<LoopFunction>("fuzz_" + std::to_string(Seed));
+  LoopFunction &F = *Out.F;
+
+  int N = F.addScalar("n", ElemType::I64);
+  F.setTripCountScalar(N);
+  int Inv = F.addScalar("inv", ElemType::I32);
+  int T1 = F.addScalar("t1", ElemType::I32);
+  int T2 = F.addScalar("t2", ElemType::I32);
+
+  Out.HasUpdate = R.nextBool(E.UpdateProb);
+  int Best = -1, Pay = -1;
+  if (Out.HasUpdate) {
+    Best = F.addScalar("best", ElemType::I32, /*IsLiveOut=*/true);
+    Pay = F.addScalar("pay", ElemType::I32, /*IsLiveOut=*/true);
+  }
+  Out.HasExit = R.nextBool(E.ExitProb);
+  int ExitPos = -1;
+  if (Out.HasExit)
+    ExitPos = F.addScalar("exit_pos", ElemType::I32, /*IsLiveOut=*/true);
+
+  Out.NumRoArrays =
+      1 + static_cast<int>(R.nextBelow(std::max(1u, E.MaxRoArrays)));
+  std::vector<int> Ro;
+  for (int A = 0; A < Out.NumRoArrays; ++A)
+    Ro.push_back(F.addArray("ro" + std::to_string(A), ElemType::I32, true));
+
+  Out.HasOut = R.nextBool(E.AffineStoreProb);
+  int OutArr = -1;
+  if (Out.HasOut)
+    OutArr = F.addArray("out", ElemType::I32);
+
+  Out.HasConflict = R.nextBool(E.ConflictProb);
+  int Rw = -1, IdxArr = -1;
+  if (Out.HasConflict) {
+    IdxArr = F.addArray("iarr", ElemType::I32, true);
+    Rw = F.addArray("rw", ElemType::I32);
+  }
+
+  ExprGen G{R, F, E, {Inv}, Ro};
+  std::vector<Stmt *> Body;
+
+  // Prologue: define the temporaries (unconditionally, so later reads are
+  // killed within the iteration).
+  Body.push_back(F.assignScalar(T1, G.randomValue(E.MaxDepth)));
+  G.ReadableScalars.push_back(T1);
+  Body.push_back(F.assignScalar(T2, G.randomValue(E.MaxDepth)));
+  G.ReadableScalars.push_back(T2);
+
+  // Optional early exit (top level, before the other patterns): a rare-ish
+  // equality against a constant.
+  if (Out.HasExit) {
+    const Expr *Cond = F.compare(
+        CmpKind::EQ,
+        F.binary(BinOp::And, G.randomValue(1),
+                 F.constInt(ElemType::I32, 1023)),
+        F.constInt(ElemType::I32, 77));
+    Stmt *Guard = F.makeIfShell(Cond);
+    F.addThen(Guard, F.assignScalar(ExitPos, F.indexRef()));
+    F.addThen(Guard, F.makeBreak());
+    Body.push_back(Guard);
+  }
+
+  // Optional plain masked region.
+  Out.HasMasked = R.nextBool(E.MaskedIfProb);
+  if (Out.HasMasked) {
+    Stmt *If = F.makeIfShell(G.randomCond(1));
+    F.addThen(If, F.assignScalar(T2, G.randomValue(E.MaxDepth)));
+    if (R.nextBool(E.ElseProb))
+      F.addElse(If, F.assignScalar(T1, G.randomValue(1)));
+    Body.push_back(If);
+  }
+
+  // Optional conditional update.
+  if (Out.HasUpdate) {
+    const Expr *Cand = F.scalarRef(R.nextBool(0.5) ? T1 : T2);
+    Stmt *Guard =
+        F.makeIfShell(F.compare(CmpKind::LT, Cand, F.scalarRef(Best)));
+    F.addThen(Guard, F.assignScalar(Best, Cand));
+    F.addThen(Guard, F.assignScalar(Pay, F.indexRef()));
+    Body.push_back(Guard);
+  }
+
+  // Optional affine output store (disjoint from every other region).
+  if (Out.HasOut)
+    Body.push_back(F.storeArray(OutArr, F.indexRef(), G.randomValue(1)));
+
+  // Optional memory-conflict block (after any update region; disjoint).
+  if (Out.HasConflict) {
+    int J = F.addScalar("j", ElemType::I32);
+    Body.push_back(F.assignScalar(J, F.arrayRef(IdxArr, F.indexRef())));
+    const Expr *JRef = F.scalarRef(J);
+    const Expr *NewVal =
+        F.binary(BinOp::Add, F.arrayRef(Rw, JRef),
+                 F.binary(BinOp::And, G.randomValue(1),
+                          F.constInt(ElemType::I32, 15)));
+    Body.push_back(F.storeArray(Rw, JRef, NewVal));
+  }
+
+  F.setBody(Body);
+  return Out;
+}
+
+void gen::buildConventionInputs(const ir::LoopFunction &F, Rng &R,
+                                const InputPlan &P, mem::Memory &M,
+                                ir::Bindings &B) {
+  mem::BumpAllocator Alloc(M);
+  int64_t Len = std::max<int64_t>(
+      {P.Trip + P.ArraySlack, P.IndexMask + 1, P.IndexBound, 512});
+  for (size_t A = 0; A < F.arrays().size(); ++A) {
+    const ArrayParam &AP = F.arrays()[A];
+    bool IsIndex = AP.Name == "iarr" || AP.Name.rfind("idx", 0) == 0 ||
+                   AP.Name.rfind("dst", 0) == 0;
+    std::vector<int32_t> Data(static_cast<size_t>(Len));
+    for (auto &V : Data) {
+      if (IsIndex)
+        V = static_cast<int32_t>(R.nextBelow(
+            static_cast<uint64_t>(std::max<int64_t>(1, P.IndexBound))));
+      else if (AP.ReadOnly)
+        V = static_cast<int32_t>(R.nextInRange(-100, 100));
+      else
+        V = static_cast<int32_t>(R.nextInRange(-50, 50));
+    }
+    B.ArrayBases[static_cast<int>(A)] = Alloc.allocArray(Data);
+  }
+  for (size_t S = 0; S < F.scalars().size(); ++S) {
+    int Id = static_cast<int>(S);
+    if (Id == F.tripCountScalar())
+      B.setInt(Id, P.Trip);
+    else if (F.scalar(Id).Name == "best")
+      B.setInt(Id, 1 << 20);
+    else if (F.scalar(Id).Name == "sentinel")
+      B.setInt(Id, 7);
+    else
+      B.setInt(Id, static_cast<int32_t>(R.nextInRange(-20, 20)));
+  }
+}

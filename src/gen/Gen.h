@@ -1,0 +1,114 @@
+//===- gen/Gen.h - Seeded, envelope-configurable loop generator -*- C++ -*-===//
+//
+// The scenario mill: generates random structured loops inside the legal
+// FlexVec envelope from a single 64-bit seed. The generator used to live
+// inline in tests/FuzzDifferentialTest.cpp; it is a library now so the
+// standing fuzz test, the flexvec-fuzz driver, and the shrinker all draw
+// from one implementation (and one set of input-building conventions).
+//
+// An Envelope describes the distribution the mill samples from: the
+// pattern mix (early exit, conditional update, memory conflict, masked
+// regions), expression-tree depth, and the subscript-shape knobs. The
+// classic() envelope reproduces the shapes the original in-test generator
+// emitted; widened() adds nested indirect gathers, non-unit-stride reads,
+// non-zero affine offsets, and affine output stores — the Autovesk-style
+// irregular shapes the hand-written corpus never covered.
+//
+// Every loop generateLoop() returns must compile to a vectorizable plan:
+// the generator staying inside the documented legality envelope is itself
+// an invariant the differential tests assert.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_GEN_GEN_H
+#define FLEXVEC_GEN_GEN_H
+
+#include "ir/IR.h"
+#include "ir/Interp.h"
+#include "memory/Memory.h"
+#include "support/Random.h"
+
+#include <memory>
+#include <string>
+
+namespace flexvec {
+namespace gen {
+
+/// The distribution the generator samples loops from. All probabilities
+/// are in [0, 1]; masks and table sizes must be powers of two (the
+/// generator keeps wild subscripts in bounds by masking).
+struct Envelope {
+  // --- Pattern mix ---
+  double UpdateProb = 0.6;   ///< Conditional-update (argmin) region.
+  double ExitProb = 0.4;     ///< Top-level early-exit guard.
+  double ConflictProb = 0.5; ///< Indexed read-modify-write table block.
+  double MaskedIfProb = 0.5; ///< Plain masked if over the temporaries.
+  double ElseProb = 0.4;     ///< Else region on the masked if.
+
+  // --- Expression shape ---
+  int MaxDepth = 2;             ///< Expression-tree depth bound.
+  unsigned MaxRoArrays = 3;     ///< 1..MaxRoArrays read-only input arrays.
+  double IndirectLoadProb = 0.3;///< a[(expr & IndexMask)] gathers.
+  double NestedIndexProb = 0;   ///< Gather whose index is itself a gather.
+  double StrideLoadProb = 0;    ///< a[((i * s) + c) & IndexMask], s in 2..4.
+  double AffineOffsetProb = 0;  ///< a[(i + c)], c in 1..MaxAffineOffset.
+  int MaxAffineOffset = 4;
+  double AffineStoreProb = 0;   ///< Dedicated out[] array with out[i] = e.
+
+  // --- Bounds shared with input generation ---
+  int64_t IndexMask = 255; ///< Wild subscripts are masked to [0, IndexMask].
+  int64_t TableSize = 64;  ///< Conflict-table entries (idx values < this).
+
+  /// The original FuzzDifferentialTest envelope: affine and masked-indirect
+  /// reads only, unit stride, no affine store.
+  static Envelope classic();
+
+  /// classic() plus the irregular-shape knobs: nested gathers, non-unit
+  /// strides, affine offsets, and affine output stores.
+  static Envelope widened();
+};
+
+/// One generated loop plus the structural facts the generator chose.
+struct GeneratedLoop {
+  std::unique_ptr<ir::LoopFunction> F;
+  uint64_t Seed = 0;
+  int NumRoArrays = 0;
+  bool HasUpdate = false;
+  bool HasExit = false;
+  bool HasMasked = false;
+  bool HasConflict = false;
+  bool HasOut = false; ///< Affine out[i] store present.
+};
+
+/// Generates one loop from \p Seed under \p E. Deterministic: the same
+/// (Seed, Envelope) always yields a byte-identical loop.
+GeneratedLoop generateLoop(uint64_t Seed, const Envelope &E);
+
+/// Sizing for convention-based input generation.
+struct InputPlan {
+  int64_t Trip = 64;
+  int64_t IndexBound = 64;  ///< Values stored in idx-convention arrays.
+  int64_t IndexMask = 255;  ///< Largest masked subscript any read can form.
+  int64_t ArraySlack = 8;   ///< Extra elements past the trip count (affine
+                            ///< offsets read up to Trip - 1 + offset).
+};
+
+/// Builds a memory image and bindings for \p F by naming conventions, the
+/// shared contract between the generator, the checked-in corpus, and
+/// shrunk reproducers:
+///  * arrays named "iarr" or with an "idx"/"dst" prefix hold indices in
+///    [0, IndexBound); every other read-only array holds values in
+///    [-100, 100], writable arrays in [-50, 50];
+///  * all arrays are sized max(Trip + ArraySlack, IndexMask + 1,
+///    IndexBound, 512) so affine, strided, and masked subscripts all land
+///    in bounds;
+///  * the trip scalar gets Trip, "best" 1 << 20, "sentinel" 7, everything
+///    else a small random value.
+void buildConventionInputs(const ir::LoopFunction &F, Rng &R,
+                           const InputPlan &P, mem::Memory &M,
+                           ir::Bindings &B);
+
+} // namespace gen
+} // namespace flexvec
+
+#endif // FLEXVEC_GEN_GEN_H

@@ -1,0 +1,60 @@
+//===- gen/Shrink.h - Greedy test-case shrinker -----------------*- C++ -*-===//
+//
+// Minimizes a failing loop to a small DSL reproducer. The shrinker applies
+// structural reductions — delete a statement, hoist an if-region over its
+// guard, collapse a binary to one operand, flatten a gather to a constant,
+// drop unused parameters — and keeps a reduction whenever the caller's
+// predicate still holds on the smaller loop (greedy first-improvement with
+// restart, to a fixed point).
+//
+// Everything is deterministic: candidates are enumerated in a fixed
+// lexical order and no randomness is consumed, so the same (loop,
+// predicate) always shrinks to the same reproducer. The predicate is
+// typically "gen::checkLoop reports the same divergence class" so shrunk
+// loops still reproduce the original failure.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_GEN_SHRINK_H
+#define FLEXVEC_GEN_SHRINK_H
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <memory>
+
+namespace flexvec {
+namespace gen {
+
+/// Structural deep copy of \p F (the IR is arena-owned and non-copyable;
+/// the clone rebuilds through the builder API, renumbering statements in
+/// lexical order).
+std::unique_ptr<ir::LoopFunction> cloneLoop(const ir::LoopFunction &F);
+
+/// Returns true when the candidate loop still exhibits the failure being
+/// minimized. Must be deterministic for the shrink to be reproducible.
+using ShrinkPredicate = std::function<bool(const ir::LoopFunction &)>;
+
+struct ShrinkOptions {
+  /// Budget of predicate evaluations; the greedy loop stops (keeping the
+  /// best loop so far) when it runs out.
+  int MaxAttempts = 2000;
+};
+
+struct ShrinkResult {
+  std::unique_ptr<ir::LoopFunction> F; ///< The minimized loop.
+  int Attempts = 0;  ///< Predicate evaluations spent.
+  int Accepted = 0;  ///< Reductions that kept the failure alive.
+  bool BudgetExhausted = false;
+};
+
+/// Shrinks \p F while \p Holds stays true. \p Holds is assumed true for
+/// \p F itself (the caller observed the failure there); the result is the
+/// smallest loop reached before the fixed point or the attempt budget.
+ShrinkResult shrinkLoop(const ir::LoopFunction &F, const ShrinkPredicate &Holds,
+                        const ShrinkOptions &Opts = {});
+
+} // namespace gen
+} // namespace flexvec
+
+#endif // FLEXVEC_GEN_SHRINK_H

@@ -48,6 +48,32 @@ struct Interpreter::Frame {
   Interpreter *Self;
 };
 
+int64_t Interpreter::loadElem(uint64_t Addr, uint64_t Size) {
+  if (Faulted)
+    return 0;
+  uint64_t Raw = 0;
+  // The debug path (no fault-hook consultation): the reference run is
+  // never subject to injected faults, but a generated or shrunk loop can
+  // compute a genuinely unmapped address — latch it instead of aborting.
+  mem::AccessResult R = M.peek(Addr, &Raw, Size);
+  if (!R.Ok) {
+    Faulted = true;
+    FaultAddr = R.FaultAddr;
+    return 0;
+  }
+  return static_cast<int64_t>(Raw);
+}
+
+void Interpreter::storeElem(uint64_t Addr, int64_t Raw, uint64_t Size) {
+  if (Faulted)
+    return;
+  mem::AccessResult R = M.poke(Addr, &Raw, Size);
+  if (!R.Ok) {
+    Faulted = true;
+    FaultAddr = R.FaultAddr;
+  }
+}
+
 static int64_t wrapToType(ElemType Ty, int64_t V) {
   if (elemSize(Ty) == 4 && !isFloatType(Ty))
     return static_cast<int64_t>(static_cast<int32_t>(V));
@@ -71,11 +97,10 @@ int64_t Interpreter::evalInt(const Frame &Fr, const Expr *E) {
                     static_cast<uint64_t>(Idx) * elemSize(A.Elem);
     if (Fr.Obs)
       Fr.Obs->onArrayLoad(E->ArrayId, Idx, Fr.Iter);
-    if (elemSize(A.Elem) == 4) {
-      int32_t V = M.get<int32_t>(Addr);
-      return V;
-    }
-    return M.get<int64_t>(Addr);
+    if (elemSize(A.Elem) == 4)
+      return static_cast<int64_t>(
+          static_cast<int32_t>(loadElem(Addr, 4)));
+    return loadElem(Addr, 8);
   }
   case ExprKind::Binary: {
     int64_t L = evalInt(Fr, E->Lhs);
@@ -155,9 +180,16 @@ double Interpreter::evalFloat(const Frame &Fr, const Expr *E) {
                     static_cast<uint64_t>(Idx) * elemSize(A.Elem);
     if (Fr.Obs)
       Fr.Obs->onArrayLoad(E->ArrayId, Idx, Fr.Iter);
-    if (Single)
-      return M.get<float>(Addr);
-    return M.get<double>(Addr);
+    if (Single) {
+      uint32_t Bits = static_cast<uint32_t>(loadElem(Addr, 4));
+      float V;
+      std::memcpy(&V, &Bits, 4);
+      return V;
+    }
+    int64_t Raw = loadElem(Addr, 8);
+    double V;
+    std::memcpy(&V, &Raw, 8);
+    return V;
   }
   case ExprKind::Binary: {
     double L = evalFloat(Fr, E->Lhs);
@@ -226,10 +258,7 @@ bool Interpreter::execStmts(Frame &Fr, const std::vector<Stmt *> &Stmts) {
       uint64_t Addr = Fr.B->ArrayBases[S->ArrayId] +
                       static_cast<uint64_t>(Idx) * elemSize(A.Elem);
       int64_t Raw = evalRaw(Fr, S->Value);
-      if (elemSize(A.Elem) == 4)
-        M.set<uint32_t>(Addr, static_cast<uint32_t>(Raw));
-      else
-        M.set<int64_t>(Addr, Raw);
+      storeElem(Addr, Raw, elemSize(A.Elem));
       if (Fr.Obs)
         Fr.Obs->onArrayStore(S, Idx, Fr.Iter);
       break;
@@ -245,6 +274,8 @@ bool Interpreter::execStmts(Frame &Fr, const std::vector<Stmt *> &Stmts) {
         Fr.Obs->onBreak(S, Fr.Iter);
       return false;
     }
+    if (Faulted)
+      return false; // Stop at the faulting statement boundary.
   }
   return true;
 }
@@ -254,6 +285,8 @@ InterpResult Interpreter::run(const LoopFunction &F, Bindings &B,
   assert(F.tripCountScalar() >= 0 && "loop has no trip-count binding");
   int64_t Trip = B.getInt(F.tripCountScalar());
   InterpResult Result;
+  Faulted = false;
+  FaultAddr = 0;
   Frame Fr{&F, &B, Obs, 0, this};
   for (int64_t I = 0; I < Trip; ++I) {
     Fr.Iter = I;
@@ -261,9 +294,11 @@ InterpResult Interpreter::run(const LoopFunction &F, Bindings &B,
       Obs->onIterationStart(I);
     ++Result.IterationsExecuted;
     if (!execStmts(Fr, F.body())) {
-      Result.BrokeEarly = true;
+      Result.BrokeEarly = !Faulted;
       break;
     }
   }
+  Result.Faulted = Faulted;
+  Result.FaultAddr = FaultAddr;
   return Result;
 }

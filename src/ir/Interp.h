@@ -72,6 +72,12 @@ public:
 struct InterpResult {
   int64_t IterationsExecuted = 0;
   bool BrokeEarly = false;
+  /// An array access touched unmapped memory and execution stopped there.
+  /// Hand-written loops never fault, but generated/shrunk candidates can
+  /// index arbitrarily far out of bounds; the interpreter must report
+  /// that, not abort the process.
+  bool Faulted = false;
+  uint64_t FaultAddr = 0;
 };
 
 /// The interpreter. Integer arithmetic wraps at the expression's element
@@ -91,10 +97,19 @@ private:
   /// Evaluates any expression to a raw 64-bit value (float → bit pattern).
   int64_t evalRaw(const Frame &Fr, const Expr *E);
 
-  /// Executes a statement list; returns false if a break fired.
+  /// Checked element access: on an unmapped address, latches the fault and
+  /// returns 0 (loads) or drops the store. Evaluation unwinds at the next
+  /// statement boundary.
+  int64_t loadElem(uint64_t Addr, uint64_t Size);
+  void storeElem(uint64_t Addr, int64_t Raw, uint64_t Size);
+
+  /// Executes a statement list; returns false if a break fired or a memory
+  /// fault latched.
   bool execStmts(Frame &Fr, const std::vector<Stmt *> &Stmts);
 
   mem::Memory &M;
+  bool Faulted = false;
+  uint64_t FaultAddr = 0;
 };
 
 } // namespace ir

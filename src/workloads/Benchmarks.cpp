@@ -26,6 +26,10 @@ const char *workloads::kernelKindName(KernelKind K) {
     return "scatter-accum";
   case KernelKind::Force:
     return "force";
+  case KernelKind::Affine:
+    return "affine";
+  case KernelKind::GatherChain:
+    return "gather-chain";
   }
   unreachable("unknown kernel kind");
 }
@@ -565,6 +569,9 @@ std::vector<Benchmark> workloads::buildAllBenchmarks(double IterationScale) {
     case KernelKind::Force:
       B.F = buildForceLoop(R.Name, R.Fp, R.Extra);
       break;
+    case KernelKind::Affine:
+    case KernelKind::GatherChain:
+      unreachable("family kinds are built in KernelFamilies.cpp");
     }
 
     const LoopFunction *FPtr = B.F.get();
@@ -587,6 +594,9 @@ std::vector<Benchmark> workloads::buildAllBenchmarks(double IterationScale) {
       case KernelKind::Force:
         return genForceInputs(*FPtr, Rand, RC.SimTrip, Invs, RC.DepProb,
                               RC.ConflictProb, RC.TableSize, RC.Fp, RC.Extra);
+      case KernelKind::Affine:
+      case KernelKind::GatherChain:
+        break; // Family kinds generate inputs in KernelFamilies.cpp.
       }
       unreachable("unknown kernel kind");
     };

@@ -48,6 +48,10 @@ enum class KernelKind : uint8_t {
   Match,        ///< KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF (early exit)
   ScatterAccum, ///< KFTM, VPCONFLICTM
   Force,        ///< KFTM, VPSLCTLAST, VPCONFLICTM
+  // Imported kernel-family kinds (KernelFamilies.h); never produced by
+  // buildAllBenchmarks.
+  Affine,      ///< Unit-stride / affine-offset only (POLY family).
+  GatherChain, ///< Runtime-resolved gathers, no conflicts (IRREG family).
 };
 
 const char *kernelKindName(KernelKind K);

@@ -2,12 +2,18 @@
 
 #include "workloads/Figure8.h"
 
+#include "workloads/KernelFamilies.h"
+
 using namespace flexvec;
 using namespace flexvec::workloads;
 
 Figure8Suite workloads::buildFigure8Suite(double IterationScale) {
   Figure8Suite Suite;
   Suite.Benchmarks = buildAllBenchmarks(IterationScale);
+  // The imported kernel-family rows (POLY + IRREG) ride after the 18
+  // Table 2 rows so existing row indices and per-cell seeds are untouched.
+  for (Benchmark &B : buildFamilyBenchmarks(IterationScale))
+    Suite.Benchmarks.push_back(std::move(B));
   Suite.Workloads.reserve(Suite.Benchmarks.size());
   for (const Benchmark &B : Suite.Benchmarks) {
     core::SweepWorkload W;

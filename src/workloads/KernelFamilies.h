@@ -1,0 +1,38 @@
+//===- workloads/KernelFamilies.h - Imported kernel families ----*- C++ -*-===//
+//
+// Two real kernel families imported as extra sweep rows alongside the 18
+// Table 2 benchmarks:
+//
+//   * POLY  - polybench-style affine kernels (axpy, jacobi-1d stencil, a
+//             conditional-min dot product). These stay inside the
+//             traditional-vectorization envelope and pin down the affine
+//             end of the legality spectrum: the sweep must report them as
+//             vectorizable by *both* the traditional and FlexVec columns.
+//   * IRREG - Autovesk-style gather/scatter kernels (a two-level gather
+//             chain, scatter-max histogram, graph relaxation with a
+//             gathered potential and a conflicting scatter-min, and a
+//             non-unit-stride blend). These exercise the runtime-resolved
+//             subscripts (VPGATHERFF / VPCONFLICTM) end.
+//
+// Each kernel is written in the loop DSL and parsed at build time, so the
+// row *is* its reproducer; inputs come from gen::buildConventionInputs,
+// the same naming-convention contract the fuzzer and the corpus use.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_WORKLOADS_KERNELFAMILIES_H
+#define FLEXVEC_WORKLOADS_KERNELFAMILIES_H
+
+#include "workloads/Benchmarks.h"
+
+namespace flexvec {
+namespace workloads {
+
+/// Builds the imported family rows (POLY + IRREG groups). \p IterationScale
+/// scales invocation counts exactly like buildAllBenchmarks does.
+std::vector<Benchmark> buildFamilyBenchmarks(double IterationScale = 1.0);
+
+} // namespace workloads
+} // namespace flexvec
+
+#endif // FLEXVEC_WORKLOADS_KERNELFAMILIES_H

@@ -44,8 +44,17 @@ TEST(AdaptiveDispatch, CorpusConflictStormDemotesWithinWindowBitExact) {
   workloads::Figure8Suite Suite = workloads::buildFigure8Suite(1.0);
   const unsigned Window = driver::AdaptiveConfig().Window;
   const size_t TotalInvocations = 12;
-  size_t Checked = 0;
+  size_t Checked = 0, Table2Rows = 0;
   for (const core::SweepWorkload &W : Suite.Workloads) {
+    // This bar is calibrated for the Table 2 corpus: every row has a
+    // transactional hot path, so the storm must force exactly one demotion.
+    // The imported kernel-family rows (POLY/IRREG) include affine kernels
+    // whose adaptive body may never open a transaction; their storm
+    // behavior is covered in KernelFamiliesTest with an abort-conditional
+    // assertion.
+    if (W.Group != "SPEC" && W.Group != "APPS")
+      continue;
+    ++Table2Rows;
     core::PipelineResult PR = core::compileLoop(*W.F);
     ASSERT_TRUE(PR.Adaptive) << W.Name << ": no adaptive variant";
     Rng R(deriveStreamSeed(33, fnv1a64(W.Name)));
@@ -73,7 +82,8 @@ TEST(AdaptiveDispatch, CorpusConflictStormDemotesWithinWindowBitExact) {
         << W.Name << ": corpus arrays are disjoint; the guard must pass";
     ++Checked;
   }
-  EXPECT_EQ(Checked, Suite.Workloads.size());
+  EXPECT_EQ(Checked, Table2Rows);
+  EXPECT_EQ(Checked, 18u) << "Table 2 corpus must stay at 18 rows";
 }
 
 // With no faults injected, the adaptive program stays speculative for the

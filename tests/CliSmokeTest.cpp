@@ -135,6 +135,73 @@ TEST(BenchSmoke, MalformedJobsRejected) {
   EXPECT_EQ(R.Exit, 2) << R.Output;
 }
 
+const std::string Fuzz = FLEXVEC_FUZZ_PATH;
+
+TEST(FuzzSmoke, UnknownFlagRejected) {
+  CmdResult R = run(Fuzz + " --bogus");
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
+}
+
+TEST(FuzzSmoke, MalformedValuesRejected) {
+  for (const char *Bad :
+       {"--count=0", "--count=abc", "--seed=1x", "--envelope=tiny",
+        "--storm=2", "--rounds=0", "--jobs=-1"}) {
+    CmdResult R = run(Fuzz + " " + Bad);
+    EXPECT_EQ(R.Exit, 2) << Bad << "\n" << R.Output;
+  }
+}
+
+TEST(FuzzSmoke, PinnedSeedRunIsCleanAndWritesSummary) {
+  std::string Out = "cli_smoke_fuzz.json";
+  std::remove(Out.c_str());
+  CmdResult R = run(Fuzz + " --count=12 --seed=5 --jobs=2 --out=" + Out);
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+  EXPECT_NE(R.Output.find("0 failure(s)"), std::string::npos) << R.Output;
+  FILE *F = std::fopen(Out.c_str(), "r");
+  ASSERT_NE(F, nullptr) << "fuzz did not write " << Out;
+  char Buf[128] = {0};
+  size_t N = fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_GT(N, 0u);
+  EXPECT_NE(std::string(Buf).find("flexvec-fuzz/v1"), std::string::npos);
+  std::remove(Out.c_str());
+}
+
+// The fuzz summary is a pure function of (seed, count, envelope) under
+// --deterministic: any job count produces byte-identical JSON.
+TEST(FuzzSmoke, DeterministicSummaryIsJobCountInvariant) {
+  std::string Out1 = "cli_smoke_fuzz_j1.json";
+  std::string Out8 = "cli_smoke_fuzz_j8.json";
+  std::remove(Out1.c_str());
+  std::remove(Out8.c_str());
+  CmdResult R1 = run(Fuzz + " --count=16 --seed=9 --jobs=1 --deterministic "
+                            "--quiet --out=" +
+                     Out1);
+  CmdResult R8 = run(Fuzz + " --count=16 --seed=9 --jobs=8 --deterministic "
+                            "--quiet --out=" +
+                     Out8);
+  EXPECT_EQ(R1.Exit, 0) << R1.Output;
+  EXPECT_EQ(R8.Exit, 0) << R8.Output;
+  auto slurp = [](const std::string &Path) {
+    std::string S;
+    FILE *F = std::fopen(Path.c_str(), "r");
+    if (!F)
+      return S;
+    char Buf[4096];
+    size_t N;
+    while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+      S.append(Buf, N);
+    std::fclose(F);
+    return S;
+  };
+  std::string A = slurp(Out1), B = slurp(Out8);
+  ASSERT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+  std::remove(Out1.c_str());
+  std::remove(Out8.c_str());
+}
+
 TEST(BenchSmoke, TinyDeterministicRunWritesJson) {
   std::string Out = "cli_smoke_bench.json";
   std::remove(Out.c_str());

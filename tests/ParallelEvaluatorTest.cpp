@@ -251,6 +251,51 @@ TEST(SweepDeterminism, JobCountDoesNotChangeResults) {
   }
 }
 
+// The imported kernel-family rows ride the same determinism contract: the
+// sweep carries POLY and IRREG rows, their cells are byte-stable across
+// worker counts, and they fan into their own group geomeans without
+// touching the SPEC/APPS aggregates.
+TEST(SweepDeterminism, ImportedFamilyRowsAreJobCountInvariant) {
+  core::SweepResult Serial = workloads::runFigure8Sweep(sweepOpts(1, 11));
+  core::SweepResult Parallel = workloads::runFigure8Sweep(sweepOpts(8, 11));
+
+  size_t FamilyCells = 0;
+  ASSERT_EQ(Serial.Cells.size(), Parallel.Cells.size());
+  for (size_t I = 0; I < Serial.Cells.size(); ++I) {
+    const core::CellResult &X = Serial.Cells[I], &Y = Parallel.Cells[I];
+    if (X.Group != "POLY" && X.Group != "IRREG")
+      continue;
+    ++FamilyCells;
+    EXPECT_EQ(X.Benchmark, Y.Benchmark) << "cell " << I;
+    EXPECT_EQ(X.Generated, Y.Generated) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Correct, Y.Correct) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.Cycles, Y.Cycles) << X.Benchmark << "/" << X.Variant;
+    EXPECT_EQ(X.HotSpeedup, Y.HotSpeedup) << X.Benchmark << "/" << X.Variant;
+    if (X.Generated) {
+      EXPECT_TRUE(X.Correct) << X.Benchmark << "/" << X.Variant;
+    }
+  }
+  EXPECT_GE(FamilyCells, 6u * core::NumVariants)
+      << "the sweep must carry at least six imported family rows";
+
+  // Family groups surface as their own geomeans, identically across jobs.
+  auto geoFor = [](const core::SweepResult &R, const char *G) {
+    for (const auto &E : R.GroupGeomeans)
+      if (E.first == G)
+        return E.second;
+    return -1.0;
+  };
+  for (const char *G : {"POLY", "IRREG"}) {
+    EXPECT_GT(geoFor(Serial, G), 0.0) << G;
+    EXPECT_EQ(geoFor(Serial, G), geoFor(Parallel, G)) << G;
+  }
+  // And the rendered payload carries the new keys while staying
+  // byte-identical across worker counts (covered again in full above).
+  std::string Det = core::benchJson(Serial, /*Deterministic=*/true).dump();
+  EXPECT_NE(Det.find("\"poly\""), std::string::npos);
+  EXPECT_NE(Det.find("\"irreg\""), std::string::npos);
+}
+
 TEST(SweepDeterminism, DifferentSeedsChangeInputsNotStructure) {
   core::SweepResult A = workloads::runFigure8Sweep(sweepOpts(1, 1));
   core::SweepResult B = workloads::runFigure8Sweep(sweepOpts(1, 2));

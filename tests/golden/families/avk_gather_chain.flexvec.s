@@ -1,0 +1,36 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  vbroadcasti.i32 v16, 255    ; constant pool
+   3:  cmp.lt r25, r24, r2
+   4:  brz r25, @19
+   5:  vindex.i32 v0, r24    ; v_i = i + lane
+   6:  vbroadcast.i32 v17, r2
+   7:  vcmp.lt.i32 k1, v0, v17    ; k_loop = v_i < bound
+   8:  vload.i32 v18, {k1}, [r14 + r24*4]
+   9:  vand.i32 v18, v18, v16
+  10:  vpgather.i32 v17, {k1}, [r15 + v18*4]
+  11:  vblend.i32 v3, {k1}, v17, v3
+  12:  vand.i32 v18, v3, v16
+  13:  vpgather.i32 v17, {k1}, [r15 + v18*4]
+  14:  vblend.i32 v4, {k1}, v17, v4
+  15:  vadd.i32 v17, v3, v4
+  16:  vstore.i32 {k1}, [r16 + r24*4], v17    ; S3: out[i] = (t1 + t2)
+  17:  addi r24, r24, 16    ; i += VL
+  18:  jmp @3
+  19:  jmp @35
+  20:  cmp.lt r25, r24, r2    ; scalar loop header
+  21:  brz r25, @35
+  22:  load.i32 r25, [r14 + r24*4]
+  23:  movimm r26, 255
+  24:  and r25, r25, r26
+  25:  load.i32 r25, [r15 + r25*4]
+  26:  mov r3, r25    ; S1: t1 = lut[(idx[i] & 255)]
+  27:  movimm r25, 255
+  28:  and r25, r3, r25
+  29:  load.i32 r25, [r15 + r25*4]
+  30:  mov r4, r25    ; S2: t2 = lut[(t1 & 255)]
+  31:  add r25, r3, r4
+  32:  store.i32 [r16 + r24*4], r25    ; S3: out[i] = (t1 + t2)
+  33:  addi r24, r24, 1
+  34:  jmp @20
+  35:  halt

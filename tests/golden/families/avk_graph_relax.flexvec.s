@@ -1,0 +1,48 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  vbroadcasti.i32 v16, 255    ; constant pool
+   3:  cmp.lt r25, r24, r2
+   4:  brz r25, @30
+   5:  vindex.i32 v0, r24    ; v_i = i + lane
+   6:  vbroadcast.i32 v17, r2
+   7:  vcmp.lt.i32 k1, v0, v17    ; k_loop = v_i < bound
+   8:  vload.i32 v17, {k1}, [r14 + r24*4]
+   9:  vblend.i32 v3, {k1}, v17, v3
+  10:  vload.i32 v18, {k1}, [r15 + r24*4]
+  11:  vand.i32 v18, v18, v16
+  12:  vpgather.i32 v17, {k1}, [r17 + v18*4]
+  13:  vload.i32 v18, {k1}, [r16 + r24*4]
+  14:  vadd.i32 v17, v17, v18
+  15:  vblend.i32 v4, {k1}, v17, v4
+  16:  kmov k4, k1    ; k_todo = unprocessed lanes
+  17:  kset k5, 0
+  18:  vpconflictm.i32 k7, {k4}, v3, v3    ; detect read-after-write lanes
+  19:  kor k5, k5, k7
+  20:  kftm.exc.i32 k6, {k4}, k5    ; k_safe = lanes safe to execute
+  21:  vpgather.i32 v17, {k6}, [r18 + v3*4]
+  22:  vmin.i32 v17, v17, v4
+  23:  vpscatter.i32 {k6}, [r18 + v3*4], v17    ; S3: d[j] = min(d[j], t1)
+  24:  kandn k4, k6, k4    ; k_todo &= ~k_safe
+  25:  kand k5, k5, k4
+  26:  ktest r25, k5
+  27:  brnz r25, @20    ; VPL: serialize dependent lanes
+  28:  addi r24, r24, 16    ; i += VL
+  29:  jmp @3
+  30:  jmp @47
+  31:  cmp.lt r25, r24, r2    ; scalar loop header
+  32:  brz r25, @47
+  33:  load.i32 r25, [r14 + r24*4]
+  34:  mov r3, r25    ; S1: j = idxdst[i]
+  35:  load.i32 r25, [r15 + r24*4]
+  36:  movimm r26, 255
+  37:  and r25, r25, r26
+  38:  load.i32 r25, [r17 + r25*4]
+  39:  load.i32 r26, [r16 + r24*4]
+  40:  add r25, r25, r26
+  41:  mov r4, r25    ; S2: t1 = (pot[(idxsrc[i] & 255)] + w[i])
+  42:  load.i32 r25, [r18 + r3*4]
+  43:  min r25, r25, r4
+  44:  store.i32 [r18 + r3*4], r25    ; S3: d[j] = min(d[j], t1)
+  45:  addi r24, r24, 1
+  46:  jmp @31
+  47:  halt

@@ -1,0 +1,36 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  cmp.lt r25, r24, r2
+   3:  brz r25, @24
+   4:  vindex.i32 v0, r24    ; v_i = i + lane
+   5:  vbroadcast.i32 v16, r2
+   6:  vcmp.lt.i32 k1, v0, v16    ; k_loop = v_i < bound
+   7:  vload.i32 v16, {k1}, [r14 + r24*4]
+   8:  vblend.i32 v3, {k1}, v16, v3
+   9:  kmov k4, k1    ; k_todo = unprocessed lanes
+  10:  kset k5, 0
+  11:  vpconflictm.i32 k7, {k4}, v3, v3    ; detect read-after-write lanes
+  12:  kor k5, k5, k7
+  13:  kftm.exc.i32 k6, {k4}, k5    ; k_safe = lanes safe to execute
+  14:  vpgather.i32 v16, {k6}, [r16 + v3*4]
+  15:  vload.i32 v17, {k6}, [r15 + r24*4]
+  16:  vmax.i32 v16, v16, v17
+  17:  vpscatter.i32 {k6}, [r16 + v3*4], v16    ; S2: hist[j] = max(hist[j], w[i])
+  18:  kandn k4, k6, k4    ; k_todo &= ~k_safe
+  19:  kand k5, k5, k4
+  20:  ktest r25, k5
+  21:  brnz r25, @13    ; VPL: serialize dependent lanes
+  22:  addi r24, r24, 16    ; i += VL
+  23:  jmp @2
+  24:  jmp @35
+  25:  cmp.lt r25, r24, r2    ; scalar loop header
+  26:  brz r25, @35
+  27:  load.i32 r25, [r14 + r24*4]
+  28:  mov r3, r25    ; S1: j = idx[i]
+  29:  load.i32 r25, [r16 + r3*4]
+  30:  load.i32 r26, [r15 + r24*4]
+  31:  max r25, r25, r26
+  32:  store.i32 [r16 + r3*4], r25    ; S2: hist[j] = max(hist[j], w[i])
+  33:  addi r24, r24, 1
+  34:  jmp @25
+  35:  halt

@@ -1,0 +1,43 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  vbroadcasti.i32 v16, 2    ; constant pool
+   3:  vbroadcasti.i32 v17, 255    ; constant pool
+   4:  vbroadcasti.i32 v18, 1    ; constant pool
+   5:  cmp.lt r25, r24, r2
+   6:  brz r25, @22
+   7:  vindex.i32 v0, r24    ; v_i = i + lane
+   8:  vbroadcast.i32 v19, r2
+   9:  vcmp.lt.i32 k1, v0, v19    ; k_loop = v_i < bound
+  10:  vmul.i32 v20, v0, v16
+  11:  vand.i32 v20, v20, v17
+  12:  vpgather.i32 v19, {k1}, [r14 + v20*4]
+  13:  vmul.i32 v21, v0, v16
+  14:  vadd.i32 v21, v21, v18
+  15:  vand.i32 v21, v21, v17
+  16:  vpgather.i32 v20, {k1}, [r14 + v21*4]
+  17:  vadd.i32 v19, v19, v20
+  18:  vblend.i32 v3, {k1}, v19, v3
+  19:  vstore.i32 {k1}, [r15 + r24*4], v3    ; S2: out[i] = t1
+  20:  addi r24, r24, 16    ; i += VL
+  21:  jmp @5
+  22:  jmp @42
+  23:  cmp.lt r25, r24, r2    ; scalar loop header
+  24:  brz r25, @42
+  25:  movimm r25, 2
+  26:  mul r25, r24, r25
+  27:  movimm r26, 255
+  28:  and r25, r25, r26
+  29:  load.i32 r25, [r14 + r25*4]
+  30:  movimm r26, 2
+  31:  mul r26, r24, r26
+  32:  movimm r27, 1
+  33:  add r26, r26, r27
+  34:  movimm r27, 255
+  35:  and r26, r26, r27
+  36:  load.i32 r26, [r14 + r26*4]
+  37:  add r25, r25, r26
+  38:  mov r3, r25    ; S1: t1 = (s0[((i * 2) & 255)] + s0[(((i * 2) + 1) & 255)])
+  39:  store.i32 [r15 + r24*4], r3    ; S2: out[i] = t1
+  40:  addi r24, r24, 1
+  41:  jmp @23
+  42:  halt

@@ -1,0 +1,26 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  vbroadcast.i32 v3, r3    ; broadcast invariant alpha
+   3:  cmp.lt r25, r24, r2
+   4:  brz r25, @15
+   5:  vindex.i32 v0, r24    ; v_i = i + lane
+   6:  vbroadcast.i32 v16, r2
+   7:  vcmp.lt.i32 k1, v0, v16    ; k_loop = v_i < bound
+   8:  vload.i32 v16, {k1}, [r15 + r24*4]
+   9:  vload.i32 v17, {k1}, [r14 + r24*4]
+  10:  vmul.i32 v17, v3, v17
+  11:  vadd.i32 v16, v16, v17
+  12:  vstore.i32 {k1}, [r15 + r24*4], v16    ; S1: y[i] = (y[i] + (alpha * x[i]))
+  13:  addi r24, r24, 16    ; i += VL
+  14:  jmp @3
+  15:  jmp @25
+  16:  cmp.lt r25, r24, r2    ; scalar loop header
+  17:  brz r25, @25
+  18:  load.i32 r25, [r15 + r24*4]
+  19:  load.i32 r26, [r14 + r24*4]
+  20:  mul r26, r3, r26
+  21:  add r25, r25, r26
+  22:  store.i32 [r15 + r24*4], r25    ; S1: y[i] = (y[i] + (alpha * x[i]))
+  23:  addi r24, r24, 1
+  24:  jmp @16
+  25:  halt

@@ -1,0 +1,49 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  cmp.lt r25, r24, r2
+   3:  brz r25, @35
+   4:  vindex.i32 v0, r24    ; v_i = i + lane
+   5:  vbroadcast.i32 v16, r2
+   6:  vcmp.lt.i32 k1, v0, v16    ; k_loop = v_i < bound
+   7:  vbroadcast.i32 v3, r3    ; re-broadcast best
+   8:  vbroadcast.i32 v4, r4    ; re-broadcast pay
+   9:  vload.i32 v16, {k1}, [r14 + r24*4]
+  10:  vload.i32 v17, {k1}, [r15 + r24*4]
+  11:  vmul.i32 v16, v16, v17
+  12:  vblend.i32 v5, {k1}, v16, v5
+  13:  kmov k4, k1    ; k_todo = unprocessed lanes
+  14:  kset k5, 0    ; VPL: clear updating-lane mask
+  15:  vcmp.lt.i32 k2, {k4}, v5, v3
+  16:  vblend.i32 v16, {k0}, v5, v5    ; S3: best = t1 (captured update value)
+  17:  kor k5, k5, k2    ; k_stop |= updating lanes
+  18:  vblend.i32 v17, {k0}, v0, v0    ; S4: pay = i (captured update value)
+  19:  kor k5, k5, k2    ; k_stop |= updating lanes
+  20:  kftm.inc.i32 k6, {k4}, k5    ; k_safe = lanes through first update
+  21:  ktest r25, k5
+  22:  brz r25, @28    ; no update fired
+  23:  kand k3, k5, k6    ; commit lane (first updater)
+  24:  kandn k7, k6, k4
+  25:  kor k7, k7, k3    ; k_rem = lanes at/after the update
+  26:  vpslctlast.i32 v3, {k3}, v16    ; best <- committed update
+  27:  vpslctlast.i32 v4, {k3}, v17    ; pay <- committed update
+  28:  kandn k4, k6, k4    ; k_todo &= ~k_safe
+  29:  ktest r25, k4
+  30:  brnz r25, @14    ; VPL: re-execute remaining lanes
+  31:  vextractlast.i32 r3, {k0}, v3    ; sync best to scalar
+  32:  vextractlast.i32 r4, {k0}, v4    ; sync pay to scalar
+  33:  addi r24, r24, 16    ; i += VL
+  34:  jmp @2
+  35:  jmp @48
+  36:  cmp.lt r25, r24, r2    ; scalar loop header
+  37:  brz r25, @48
+  38:  load.i32 r25, [r14 + r24*4]
+  39:  load.i32 r26, [r15 + r24*4]
+  40:  mul r25, r25, r26
+  41:  mov r5, r25    ; S1: t1 = (x[i] * y[i])
+  42:  cmp.lt r25, r5, r3
+  43:  brz r25, @46    ; S2: if (t1 < best)
+  44:  mov r3, r5    ; S3: best = t1
+  45:  mov r4, r24    ; S4: pay = i
+  46:  addi r24, r24, 1
+  47:  jmp @36
+  48:  halt

@@ -1,0 +1,35 @@
+   0:  movimm r24, 0    ; i = 0
+   1:  movimm r31, 0
+   2:  vbroadcasti.i32 v16, 1    ; constant pool
+   3:  vbroadcasti.i32 v17, 2    ; constant pool
+   4:  cmp.lt r25, r24, r2
+   5:  brz r25, @18
+   6:  vindex.i32 v0, r24    ; v_i = i + lane
+   7:  vbroadcast.i32 v18, r2
+   8:  vcmp.lt.i32 k1, v0, v18    ; k_loop = v_i < bound
+   9:  vload.i32 v18, {k1}, [r14 + r24*4]
+  10:  vload.i32 v19, {k1}, [r14 + r24*4 + 4]
+  11:  vadd.i32 v18, v18, v19
+  12:  vload.i32 v19, {k1}, [r14 + r24*4 + 8]
+  13:  vadd.i32 v18, v18, v19
+  14:  vblend.i32 v3, {k1}, v18, v3
+  15:  vstore.i32 {k1}, [r15 + r24*4], v3    ; S2: b[i] = t1
+  16:  addi r24, r24, 16    ; i += VL
+  17:  jmp @4
+  18:  jmp @34
+  19:  cmp.lt r25, r24, r2    ; scalar loop header
+  20:  brz r25, @34
+  21:  load.i32 r25, [r14 + r24*4]
+  22:  movimm r26, 1
+  23:  add r26, r24, r26
+  24:  load.i32 r26, [r14 + r26*4]
+  25:  add r25, r25, r26
+  26:  movimm r26, 2
+  27:  add r26, r24, r26
+  28:  load.i32 r26, [r14 + r26*4]
+  29:  add r25, r25, r26
+  30:  mov r3, r25    ; S1: t1 = ((a[i] + a[(i + 1)]) + a[(i + 2)])
+  31:  store.i32 [r15 + r24*4], r3    ; S2: b[i] = t1
+  32:  addi r24, r24, 1
+  33:  jmp @19
+  34:  halt

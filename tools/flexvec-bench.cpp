@@ -153,6 +153,13 @@ int main(int Argc, char **Argv) {
               TextTable::fmt(R.SpecGeomean, 3) + "x", "1.09x", ""});
     T.addRow({"GEOMEAN (apps, flexvec)", "", "", "", "",
               TextTable::fmt(R.AppsGeomean, 3) + "x", "1.11x", ""});
+    // Imported kernel-family groups have no paper reference column.
+    for (const auto &Geo : R.GroupGeomeans) {
+      if (Geo.first == "SPEC" || Geo.first == "APPS")
+        continue;
+      T.addRow({"GEOMEAN (" + Geo.first + ", flexvec)", "", "", "", "",
+                TextTable::fmt(Geo.second, 3) + "x", "-", ""});
+    }
     T.print();
     std::printf("\ncompile cache: %llu hits, %llu misses (%.1f%% hit rate)\n",
                 static_cast<unsigned long long>(R.CacheHits),
