@@ -11,7 +11,8 @@ using namespace flexvec::core;
 
 /// Bump when a pipeline change should invalidate previously hashed keys
 /// (persisted keys may outlive one process in the future).
-static constexpr uint64_t PipelineVersion = 3; // adaptive dispatch variant
+static constexpr uint64_t PipelineVersion =
+    4; // threaded dispatch + superinstruction fusion
 
 uint64_t CompileCache::keyFor(const ir::LoopFunction &F, unsigned RtmTile) {
   // F.print() renders the full structure — parameters with types and

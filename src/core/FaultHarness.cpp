@@ -58,6 +58,7 @@ FaultedRun core::runProgramWithFaults(const codegen::CompiledLoop &CL,
   emu::RunLimits Limits;
   Limits.MaxInstructions = Plan.MaxInstructions;
   Limits.MaxRtmRetries = Plan.MaxRtmRetries;
+  Limits.Dispatch = Plan.Dispatch;
   Run.Outcome.Exec = Machine.run(CL.Prog, Limits);
   Run.Outcome.Ok = Run.Outcome.Exec.Reason == emu::StopReason::Halted;
   if (!Run.Outcome.Ok)
@@ -91,6 +92,7 @@ FaultedRun core::runProgramMultiWithFaults(
   emu::RunLimits Limits;
   Limits.MaxInstructions = Plan.MaxInstructions;
   Limits.MaxRtmRetries = Plan.MaxRtmRetries;
+  Limits.Dispatch = Plan.Dispatch;
   for (const ir::Bindings &B : Invocations) {
     Machine.resetRegisters();
     bindMachine(Machine, B);

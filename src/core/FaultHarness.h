@@ -35,6 +35,9 @@ struct FaultPlan {
   faults::TxFaultPlan Tx;
   uint64_t MaxInstructions = 1ULL << 32;
   unsigned MaxRtmRetries = 4;
+  /// Dispatch loop the machine runs under (JitEquivalenceTest pins both
+  /// modes to prove fault delivery is dispatch-invariant).
+  emu::DispatchMode Dispatch = emu::DispatchMode::Auto;
 };
 
 /// One execution under injection: the usual outcome plus what was

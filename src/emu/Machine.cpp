@@ -233,6 +233,9 @@ void Machine::predecode(const Program &P) {
     D.Imm = I.Imm;
     D.Disp = I.Disp;
     D.Target = I.Target;
+    // Dispatch token: plain opcodes; fusePlan() may later rewrite heads of
+    // fusable sequences to superinstruction tokens (>= NumOpcodes).
+    D.Handler = static_cast<uint16_t>(I.Op);
     Plan.push_back(D);
   }
 }
@@ -291,39 +294,27 @@ bool Machine::memWrite(uint64_t Addr, const void *Data, uint64_t Size) {
 
 namespace {
 
-int64_t applyScalarIntOp(Opcode Op, int64_t A, int64_t B) {
-  switch (Op) {
-  case Opcode::Add:
-    return static_cast<int64_t>(static_cast<uint64_t>(A) +
-                                static_cast<uint64_t>(B));
-  case Opcode::Sub:
-    return static_cast<int64_t>(static_cast<uint64_t>(A) -
-                                static_cast<uint64_t>(B));
-  case Opcode::Mul:
-    return static_cast<int64_t>(static_cast<uint64_t>(A) *
-                                static_cast<uint64_t>(B));
-  case Opcode::Div:
-    assert(B != 0 && "division by zero");
-    return A / B;
-  case Opcode::And:
-    return A & B;
-  case Opcode::Or:
-    return A | B;
-  case Opcode::Xor:
-    return A ^ B;
-  case Opcode::Shl:
-    return static_cast<int64_t>(static_cast<uint64_t>(A)
-                                << (static_cast<uint64_t>(B) & 63));
-  case Opcode::Shr:
-    return static_cast<int64_t>(static_cast<uint64_t>(A) >>
-                                (static_cast<uint64_t>(B) & 63));
-  case Opcode::Min:
-    return std::min(A, B);
-  case Opcode::Max:
-    return std::max(A, B);
-  default:
-    unreachable("not a scalar integer binary opcode");
-  }
+/// Dispatch tokens >= HandlerFusedBase select superinstruction handlers,
+/// indexed by FusedKind.
+constexpr uint16_t HandlerFusedBase = static_cast<uint16_t>(isa::NumOpcodes);
+
+/// Minimum static-pair-histogram frequency before a site is fused. Every
+/// fusion decision is a pure function of the static opcode sequence (the
+/// histogram and the per-site checks below), never of loop names or
+/// instruction addresses — the cache-safety contract.
+constexpr uint64_t MinStaticPairCount = 1;
+
+/// Middle ops admissible in a gather->op->scatter superinstruction: the
+/// register-register vector ALU ranges (no memory, no masks written).
+bool isFusableVectorOp(Opcode Op) {
+  return (Op >= Opcode::VAdd && Op <= Opcode::VMax) ||
+         (Op >= Opcode::VFAdd && Op <= Opcode::VFMax);
+}
+
+/// Element wrap for specialized vector-int bodies; identical to the wrap
+/// lambda inside applyVectorIntOp.
+int64_t fvWrap(bool Is32, int64_t X) {
+  return Is32 ? static_cast<int64_t>(static_cast<int32_t>(X)) : X;
 }
 
 double applyScalarFpOp(Opcode Op, double A, double B) {
@@ -401,686 +392,143 @@ double applyVectorFpOp(Opcode Op, double A, double B) {
 
 } // namespace
 
-ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
-  ExecResult Result;
-  ExecStats &Stats = Result.Stats;
-  if (P.empty())
-    return Result;
+DispatchMode emu::defaultDispatchMode() {
+  static const DispatchMode Cached = [] {
+    if (const char *Env = std::getenv("FLEXVEC_DISPATCH")) {
+      if (std::strcmp(Env, "plain") == 0)
+        return DispatchMode::Plain;
+      if (std::strcmp(Env, "threaded") == 0)
+        return DispatchMode::Threaded;
+    }
+    return DispatchMode::Threaded;
+  }();
+  return Cached;
+}
 
-  // Decode once into the dense plan; the dynamic loop below never touches
-  // the (string-carrying) isa::Instruction records again except to hand
-  // trace consumers their static-instruction pointer.
-  predecode(P);
-  const bool Collect = Sink != nullptr;
-  AddrPool.clear();
-  BatchLen = 0;
+const char *emu::fusedKindName(FusedKind K) {
+  switch (K) {
+  case FusedKind::CmpBr:
+    return "cmp+br";
+  case FusedKind::KTestBr:
+    return "ktest+br";
+  case FusedKind::AddImmCmp:
+    return "addi+cmp";
+  case FusedKind::GatherOpScatter:
+    return "gather+op+scatter";
+  }
+  unreachable("unknown fused kind");
+}
 
-  uint32_t PC = 0;
+void Machine::fusePlan() {
+  Fusion.Pairs.clear();
+  Fusion.Sites.clear();
+  const size_t N = Plan.size();
+  IsJumpTarget.assign(N, 0);
+  if (N < 2)
+    return;
 
-  // Resilience-policy state for this run.
-  unsigned TxAttempts = 0;   ///< Retries burned at the current XBEGIN site.
-  uint32_t TxBeginPC = 0;    ///< PC of the active transaction's XBEGIN.
-  uint64_t LastFault = 0;    ///< Last fault address observed (any kind).
-  auto recordAbort = [&Result](rtm::AbortReason Why) {
-    if (Result.AbortHistory.size() < ExecResult::MaxAbortHistory)
-      Result.AbortHistory.push_back(Why);
-  };
+  // Static pair histogram over the finalized plan; the fusion table below
+  // is driven by it, so what fuses is a pure function of the static
+  // opcode sequence.
+  for (size_t I = 0; I + 1 < N; ++I)
+    Fusion.Pairs.add(static_cast<unsigned>(Plan[I].Op),
+                     static_cast<unsigned>(Plan[I + 1].Op));
 
-  while (true) {
-    if (Stats.Instructions >= Limits.MaxInstructions) {
-      // Watchdog: a VPL that stopped making forward progress (or a
-      // runaway retry storm) is reported with enough context to debug it.
-      Result.Reason = StopReason::BudgetExceeded;
-      Result.FaultPC = PC;
-      Result.FaultOp = PC < P.size() ? P[PC].Op : isa::Opcode::Nop;
-      Result.FaultAddr = LastFault;
-      if (Sink)
-        flushBatch(Sink, Stats);
-      return Result;
-    }
-    assert(PC < Plan.size() && "program counter out of range");
-    const DecodedInstr &D = Plan[PC];
-    uint32_t NextPC = PC + 1;
-    bool Taken = false;
-    uint64_t ActiveMask = 0;
-    // Effective addresses are counted always (for Stats.MemoryAccesses)
-    // but only materialized into the pool when a sink will consume them.
-    uint32_t AddrStart = static_cast<uint32_t>(AddrPool.size());
-    uint32_t AddrCount = 0;
-    auto pushAddr = [&](uint64_t A) {
-      ++AddrCount;
-      if (Collect)
-        AddrPool.push_back(A);
-    };
-    Faulted = false;
-    TxAborted = false;
+  // A follower that is a branch (or abort-handler) target must stay
+  // individually dispatchable: control flow can enter the sequence in the
+  // middle. XBegin is not isBranch() but its abort target is a real entry
+  // point (the scalar fallback body).
+  for (const DecodedInstr &D : Plan)
+    if (((D.Flags & FlagBranch) || D.Op == Opcode::XBegin) && D.Target >= 0 &&
+        static_cast<size_t>(D.Target) < N)
+      IsJumpTarget[static_cast<size_t>(D.Target)] = 1;
 
-    unsigned ES = D.ES;
-    unsigned Lanes = D.Lanes;
-
-    /// Resolved write mask: k0 (or no mask) enables all lanes.
-    auto effMask = [&]() {
-      return D.EffMask == NoEffMask ? D.AllMask : (K[D.EffMask] & D.AllMask);
-    };
-    // Effective scalar address for scalar/contiguous-vector memory ops.
-    auto scalarAddr = [&]() {
-      uint64_t A = static_cast<uint64_t>(R[D.Src1]) + D.Disp;
-      if (D.Flags & FlagSrc2Valid)
-        A += static_cast<uint64_t>(R[D.Src2]) * D.Scale;
-      return A;
-    };
-    // Effective address for lane L of a gather/scatter.
-    auto gatherAddr = [&](unsigned L) {
-      return static_cast<uint64_t>(R[D.Src1]) +
-             static_cast<uint64_t>(V[D.Src2].laneInt(D.Type, L)) * D.Scale +
-             D.Disp;
-    };
-
-    switch (D.Op) {
-    case Opcode::Halt:
-      ++Stats.Instructions;
-      ++Stats.OpcodeCounts[static_cast<unsigned>(D.Op)];
-      // Halt itself is never delivered to the sink; drain what precedes it.
-      if (Sink)
-        flushBatch(Sink, Stats);
-      Result.Reason = StopReason::Halted;
-      return Result;
-    case Opcode::Nop:
-      break;
-    case Opcode::Jmp:
-      Taken = true;
-      NextPC = static_cast<uint32_t>(D.Target);
-      break;
-    case Opcode::BrZero:
-      Taken = R[D.Src1] == 0;
-      if (Taken)
-        NextPC = static_cast<uint32_t>(D.Target);
-      break;
-    case Opcode::BrNonZero:
-      Taken = R[D.Src1] != 0;
-      if (Taken)
-        NextPC = static_cast<uint32_t>(D.Target);
-      break;
-
-    case Opcode::MovImm:
-      R[D.Dst] = D.Imm;
-      break;
-    case Opcode::Mov:
-      R[D.Dst] = R[D.Src1];
-      break;
-    case Opcode::Add:
-    case Opcode::Sub:
-    case Opcode::Mul:
-    case Opcode::Div:
-    case Opcode::And:
-    case Opcode::Or:
-    case Opcode::Xor:
-    case Opcode::Shl:
-    case Opcode::Shr:
-    case Opcode::Min:
-    case Opcode::Max:
-      R[D.Dst] = applyScalarIntOp(D.Op, R[D.Src1], R[D.Src2]);
-      break;
-    case Opcode::AddImm:
-      R[D.Dst] = applyScalarIntOp(Opcode::Add, R[D.Src1], D.Imm);
-      break;
-    case Opcode::MulImm:
-      R[D.Dst] = applyScalarIntOp(Opcode::Mul, R[D.Src1], D.Imm);
-      break;
-    case Opcode::AndImm:
-      R[D.Dst] = R[D.Src1] & D.Imm;
-      break;
-    case Opcode::ShlImm:
-      R[D.Dst] = applyScalarIntOp(Opcode::Shl, R[D.Src1], D.Imm);
-      break;
-    case Opcode::ShrImm:
-      R[D.Dst] = applyScalarIntOp(Opcode::Shr, R[D.Src1], D.Imm);
-      break;
-    case Opcode::Cmp:
-      R[D.Dst] = evalCmp(D.Cond, R[D.Src1], R[D.Src2]) ? 1 : 0;
-      break;
-    case Opcode::CmpImm:
-      R[D.Dst] = evalCmp(D.Cond, R[D.Src1], D.Imm) ? 1 : 0;
-      break;
-    case Opcode::Select:
-      R[D.Dst] = R[D.Src1] != 0 ? R[D.Src2] : R[D.Src3];
-      break;
-
-    case Opcode::FMovImm:
-      R[D.Dst] = D.Imm;
-      break;
-    case Opcode::FAdd:
-    case Opcode::FSub:
-    case Opcode::FMul:
-    case Opcode::FDiv:
-    case Opcode::FMin:
-    case Opcode::FMax: {
-      if (D.Type == ElemType::F32) {
-        float A = getScalarF32(D.Src1);
-        float B = getScalarF32(D.Src2);
-        setScalarF32(D.Dst, static_cast<float>(applyScalarFpOp(D.Op, A, B)));
-      } else {
-        setScalarF64(D.Dst, applyScalarFpOp(D.Op, getScalarF64(D.Src1),
-                                            getScalarF64(D.Src2)));
-      }
-      break;
+  // Greedy left-to-right matching of the dominant static shapes observed
+  // across the workload suite (see tests/golden/histogram.golden):
+  // compare->mask-branch, gather->op->scatter, index-increment->compare.
+  for (size_t I = 0; I + 1 < N; ++I) {
+    const DecodedInstr &A = Plan[I];
+    const DecodedInstr &B = Plan[I + 1];
+    if (IsJumpTarget[I + 1])
+      continue;
+    const bool CondBr = B.Op == Opcode::BrZero || B.Op == Opcode::BrNonZero;
+    FusedKind Kind;
+    uint8_t Len = 2;
+    if ((A.Op == Opcode::Cmp || A.Op == Opcode::CmpImm) && CondBr &&
+        B.Src1 == A.Dst) {
+      Kind = FusedKind::CmpBr;
+    } else if (A.Op == Opcode::KTest && CondBr && B.Src1 == A.Dst) {
+      Kind = FusedKind::KTestBr;
+    } else if (A.Op == Opcode::AddImm &&
+               (B.Op == Opcode::Cmp || B.Op == Opcode::CmpImm)) {
+      Kind = FusedKind::AddImmCmp;
+    } else if (A.Op == Opcode::VGather && I + 2 < N &&
+               isFusableVectorOp(B.Op) && Plan[I + 2].Op == Opcode::VScatter &&
+               !IsJumpTarget[I + 2]) {
+      Kind = FusedKind::GatherOpScatter;
+      Len = 3;
+    } else {
+      continue;
     }
-    case Opcode::FCmp: {
-      double A, B;
-      if (D.Type == ElemType::F32) {
-        A = getScalarF32(D.Src1);
-        B = getScalarF32(D.Src2);
-      } else {
-        A = getScalarF64(D.Src1);
-        B = getScalarF64(D.Src2);
-      }
-      R[D.Dst] = evalCmp(D.Cond, A, B) ? 1 : 0;
-      break;
-    }
-
-    case Opcode::Load: {
-      uint64_t Addr = scalarAddr();
-      pushAddr(Addr);
-      if (ES == 4) {
-        uint32_t Raw;
-        if (!memRead(Addr, &Raw, 4))
-          break;
-        R[D.Dst] = D.Type == ElemType::I32
-                       ? static_cast<int64_t>(static_cast<int32_t>(Raw))
-                       : static_cast<int64_t>(Raw);
-      } else {
-        int64_t Raw;
-        if (!memRead(Addr, &Raw, 8))
-          break;
-        R[D.Dst] = Raw;
-      }
-      break;
-    }
-    case Opcode::Store: {
-      uint64_t Addr = scalarAddr();
-      pushAddr(Addr);
-      if (ES == 4) {
-        uint32_t Raw = static_cast<uint32_t>(R[D.Src3]);
-        memWrite(Addr, &Raw, 4);
-      } else {
-        int64_t Raw = R[D.Src3];
-        memWrite(Addr, &Raw, 8);
-      }
-      break;
-    }
-
-    case Opcode::VBroadcast: {
-      ActiveMask = effMask();
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        if (testBit(ActiveMask, L))
-          Dv.setLaneInt(D.Type, L, R[D.Src1]);
-      break;
-    }
-    case Opcode::VBroadcastImm: {
-      ActiveMask = effMask();
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        if (testBit(ActiveMask, L))
-          Dv.setLaneInt(D.Type, L, D.Imm);
-      break;
-    }
-    case Opcode::VIndex: {
-      ActiveMask = D.AllMask;
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        Dv.setLaneInt(D.Type, L, R[D.Src1] + L);
-      break;
-    }
-    case Opcode::VAdd:
-    case Opcode::VSub:
-    case Opcode::VMul:
-    case Opcode::VAnd:
-    case Opcode::VOr:
-    case Opcode::VXor:
-    case Opcode::VMin:
-    case Opcode::VMax: {
-      ActiveMask = effMask();
-      const VecReg A = V[D.Src1];
-      const VecReg B = V[D.Src2];
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        if (testBit(ActiveMask, L))
-          Dv.setLaneInt(D.Type, L,
-                        applyVectorIntOp(D.Op, D.Type, A.laneInt(D.Type, L),
-                                         B.laneInt(D.Type, L)));
-      break;
-    }
-    case Opcode::VAddImm:
-    case Opcode::VMulImm:
-    case Opcode::VShlImm: {
-      ActiveMask = effMask();
-      const VecReg A = V[D.Src1];
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        if (testBit(ActiveMask, L))
-          Dv.setLaneInt(D.Type, L,
-                        applyVectorIntOp(D.Op, D.Type, A.laneInt(D.Type, L),
-                                         D.Imm));
-      break;
-    }
-    case Opcode::VFAdd:
-    case Opcode::VFSub:
-    case Opcode::VFMul:
-    case Opcode::VFDiv:
-    case Opcode::VFMin:
-    case Opcode::VFMax: {
-      ActiveMask = effMask();
-      const VecReg A = V[D.Src1];
-      const VecReg B = V[D.Src2];
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        if (testBit(ActiveMask, L))
-          Dv.setLaneFloat(D.Type, L,
-                          applyVectorFpOp(D.Op, A.laneFloat(D.Type, L),
-                                          B.laneFloat(D.Type, L)));
-      break;
-    }
-    case Opcode::VCmp:
-    case Opcode::VCmpImm: {
-      ActiveMask = effMask();
-      const VecReg A = V[D.Src1];
-      uint64_t Out = 0;
-      for (unsigned L = 0; L < Lanes; ++L) {
-        if (!testBit(ActiveMask, L))
-          continue;
-        bool Bit;
-        if (isFloatType(D.Type)) {
-          double BVal = D.Op == Opcode::VCmp ? V[D.Src2].laneFloat(D.Type, L)
-                                             : static_cast<double>(D.Imm);
-          Bit = evalCmp(D.Cond, A.laneFloat(D.Type, L), BVal);
-        } else {
-          int64_t BVal =
-              D.Op == Opcode::VCmp ? V[D.Src2].laneInt(D.Type, L) : D.Imm;
-          Bit = evalCmp(D.Cond, A.laneInt(D.Type, L), BVal);
-        }
-        if (Bit)
-          Out |= 1ULL << L;
-      }
-      K[D.Dst] = Out;
-      break;
-    }
-    case Opcode::VBlend: {
-      ActiveMask = effMask();
-      const VecReg A = V[D.Src1];
-      const VecReg B = V[D.Src2];
-      VecReg &Dv = V[D.Dst];
-      for (unsigned L = 0; L < Lanes; ++L)
-        Dv.setLaneInt(D.Type, L,
-                      testBit(ActiveMask, L) ? A.laneInt(D.Type, L)
-                                             : B.laneInt(D.Type, L));
-      break;
-    }
-    case Opcode::VExtractLast:
-    case Opcode::VSlctLast: {
-      ActiveMask = effMask();
-      const VecReg S = V[D.Src1];
-      unsigned Lane = Lanes - 1;
-      uint64_t Enabled = ActiveMask & D.AllMask;
-      if (Enabled != 0)
-        Lane = 63 - static_cast<unsigned>(std::countl_zero(Enabled));
-      int64_t Value = S.laneInt(D.Type, Lane);
-      if (D.Op == Opcode::VExtractLast) {
-        R[D.Dst] = Value;
-      } else {
-        VecReg &Dv = V[D.Dst];
-        for (unsigned L = 0; L < Lanes; ++L)
-          Dv.setLaneInt(D.Type, L, Value);
-      }
-      break;
-    }
-    case Opcode::VReduceAdd:
-    case Opcode::VReduceMin:
-    case Opcode::VReduceMax: {
-      ActiveMask = effMask();
-      const VecReg S = V[D.Src1];
-      if (isFloatType(D.Type)) {
-        double Acc = D.Type == ElemType::F32
-                         ? static_cast<double>(getScalarF32(D.Src2))
-                         : getScalarF64(D.Src2);
-        for (unsigned L = 0; L < Lanes; ++L) {
-          if (!testBit(ActiveMask, L))
-            continue;
-          double X = S.laneFloat(D.Type, L);
-          if (D.Op == Opcode::VReduceAdd)
-            Acc += X;
-          else if (D.Op == Opcode::VReduceMin)
-            Acc = std::min(Acc, X);
-          else
-            Acc = std::max(Acc, X);
-        }
-        if (D.Type == ElemType::F32)
-          setScalarF32(D.Dst, static_cast<float>(Acc));
-        else
-          setScalarF64(D.Dst, Acc);
-      } else {
-        int64_t Acc = R[D.Src2];
-        for (unsigned L = 0; L < Lanes; ++L) {
-          if (!testBit(ActiveMask, L))
-            continue;
-          int64_t X = S.laneInt(D.Type, L);
-          if (D.Op == Opcode::VReduceAdd)
-            Acc = static_cast<int64_t>(static_cast<uint64_t>(Acc) +
-                                       static_cast<uint64_t>(X));
-          else if (D.Op == Opcode::VReduceMin)
-            Acc = std::min(Acc, X);
-          else
-            Acc = std::max(Acc, X);
-        }
-        R[D.Dst] = Acc;
-      }
-      break;
-    }
-
-    case Opcode::VLoad: {
-      ActiveMask = effMask();
-      uint64_t Base = scalarAddr();
-      VecReg &Dv = V[D.Dst];
-      bool Stop = false;
-      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
-        if (!testBit(ActiveMask, L))
-          continue;
-        uint64_t Addr = Base + static_cast<uint64_t>(L) * ES;
-        pushAddr(Addr);
-        int64_t Raw = 0;
-        if (!memRead(Addr, &Raw, ES)) {
-          Stop = true;
-          break;
-        }
-        if (ES == 4 && D.Type == ElemType::I32)
-          Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
-        Dv.setLaneInt(D.Type, L, Raw);
-      }
-      break;
-    }
-    case Opcode::VStore: {
-      ActiveMask = effMask();
-      uint64_t Base = scalarAddr();
-      const VecReg S = V[D.Src3];
-      bool Stop = false;
-      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
-        if (!testBit(ActiveMask, L))
-          continue;
-        uint64_t Addr = Base + static_cast<uint64_t>(L) * ES;
-        pushAddr(Addr);
-        int64_t Raw = S.laneInt(D.Type, L);
-        if (!memWrite(Addr, &Raw, ES))
-          Stop = true;
-      }
-      break;
-    }
-    case Opcode::VGather: {
-      ActiveMask = effMask();
-      VecReg &Dv = V[D.Dst];
-      bool Stop = false;
-      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
-        if (!testBit(ActiveMask, L))
-          continue;
-        uint64_t Addr = gatherAddr(L);
-        pushAddr(Addr);
-        int64_t Raw = 0;
-        if (!memRead(Addr, &Raw, ES)) {
-          Stop = true;
-          break;
-        }
-        if (ES == 4 && D.Type == ElemType::I32)
-          Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
-        Dv.setLaneInt(D.Type, L, Raw);
-      }
-      break;
-    }
-    case Opcode::VScatter: {
-      ActiveMask = effMask();
-      const VecReg S = V[D.Src3];
-      bool Stop = false;
-      // Lanes are stored in increasing order so that a later lane's store to
-      // the same address wins, matching scalar iteration order.
-      for (unsigned L = 0; L < Lanes && !Stop; ++L) {
-        if (!testBit(ActiveMask, L))
-          continue;
-        uint64_t Addr = gatherAddr(L);
-        pushAddr(Addr);
-        int64_t Raw = S.laneInt(D.Type, L);
-        if (!memWrite(Addr, &Raw, ES))
-          Stop = true;
-      }
-      break;
-    }
-
-    case Opcode::VMovFF:
-    case Opcode::VGatherFF: {
-      // First-faulting semantics (Section 3.3.1): the leftmost write-mask
-      // enabled element is non-speculative and faults architecturally; a
-      // fault on any later enabled element zeroes the write mask from that
-      // lane rightward and suppresses the exception.
-      assert(D.EffMask != NoEffMask &&
-             "first-faulting ops require a writable mask");
-      uint64_t Mask = K[D.EffMask] & D.AllMask;
-      ActiveMask = Mask;
-      VecReg &Dv = V[D.Dst];
-      uint64_t Base =
-          D.Op == Opcode::VMovFF ? scalarAddr() : 0; // gather uses per-lane
-      bool SeenNonSpec = false;
-      for (unsigned L = 0; L < Lanes; ++L) {
-        if (!testBit(Mask, L))
-          continue;
-        uint64_t Addr = D.Op == Opcode::VMovFF
-                            ? Base + static_cast<uint64_t>(L) * ES
-                            : gatherAddr(L);
-        int64_t Raw = 0;
-        mem::AccessResult Res = M.read(Addr, &Raw, ES);
-        if (!Res.Ok) {
-          LastFault = Res.FaultAddr;
-          if (!SeenNonSpec) {
-            // Fault on the non-speculative element: architectural fault.
-            Faulted = true;
-            FaultAddr = Res.FaultAddr;
-          } else {
-            // Speculative fault: clip the write mask from this lane on.
-            ++Stats.FFClips;
-            Stats.FFSuppressedLanes += popcount(Mask & ~lowBitMask(L));
-            K[D.EffMask] &= lowBitMask(L);
-          }
-          break;
-        }
-        pushAddr(Addr);
-        if (ES == 4 && D.Type == ElemType::I32)
-          Raw = static_cast<int64_t>(static_cast<int32_t>(Raw));
-        Dv.setLaneInt(D.Type, L, Raw);
-        SeenNonSpec = true;
-      }
-      break;
-    }
-
-    case Opcode::VConflictM: {
-      // Section 3.6: serialization points restart the comparison window.
-      assert(!isFloatType(D.Type) && "conflict detection is on indices");
-      uint64_t Enable = effMask();
-      const VecReg &V1 = V[D.Src1];
-      const VecReg &V2 = V[D.Src2];
-      uint64_t Out = 0;
-      unsigned WindowStart = 0;
-      for (unsigned J = 0; J < Lanes; ++J) {
-        int64_t Needle = V1.laneInt(D.Type, J);
-        for (unsigned Prev = WindowStart; Prev < J; ++Prev) {
-          if (!testBit(Enable, Prev))
-            continue;
-          if (V2.laneInt(D.Type, Prev) == Needle) {
-            Out |= 1ULL << J;
-            WindowStart = J;
-            break;
-          }
-        }
-      }
-      ++Stats.ConflictChecks;
-      Stats.ConflictHits += popcount(Out);
-      K[D.Dst] = Out;
-      break;
-    }
-
-    case Opcode::KFtmExc:
-    case Opcode::KFtmInc: {
-      // Section 3.4: scan KStop (Src1) through the write-enable mask; safe
-      // lanes are the enabled lanes before (EXC) / through (INC) the first
-      // enabled stop bit. For the exclusive variant, a stop bit at the
-      // leading enabled lane is ignored: that lane has no preceding lanes
-      // left to wait for, which is what guarantees forward progress of the
-      // do/while VPL in Figure 2(b).
-      uint64_t Enable = effMask();
-      uint64_t Stop = K[D.Src1] & Enable;
-      if (D.Op == Opcode::KFtmExc && Enable != 0)
-        Stop &= ~(1ULL << countTrailingZeros(Enable));
-      uint64_t Out;
-      if (Stop == 0) {
-        Out = Enable;
-      } else {
-        unsigned First = countTrailingZeros(Stop);
-        unsigned Cut = D.Op == Opcode::KFtmExc ? First : First + 1;
-        Out = Enable & lowBitMask(Cut);
-      }
-      ++Stats.VplSteps;
-      if (Out != Enable)
-        ++Stats.VplPartitions;
-      K[D.Dst] = Out;
-      break;
-    }
-
-    case Opcode::KMov:
-      K[D.Dst] = K[D.Src1];
-      break;
-    case Opcode::KSet:
-      K[D.Dst] = static_cast<uint64_t>(D.Imm);
-      break;
-    case Opcode::KAnd:
-      K[D.Dst] = K[D.Src1] & K[D.Src2];
-      break;
-    case Opcode::KOr:
-      K[D.Dst] = K[D.Src1] | K[D.Src2];
-      break;
-    case Opcode::KXor:
-      K[D.Dst] = K[D.Src1] ^ K[D.Src2];
-      break;
-    case Opcode::KAndN:
-      K[D.Dst] = ~K[D.Src1] & K[D.Src2];
-      break;
-    case Opcode::KNot:
-      K[D.Dst] = ~K[D.Src1] & D.AllMask;
-      break;
-    case Opcode::KTest:
-      R[D.Dst] = K[D.Src1] != 0 ? 1 : 0;
-      break;
-    case Opcode::KPopcnt:
-      R[D.Dst] = popcount(K[D.Src1]);
-      break;
-
-    case Opcode::XBegin:
-      if (Tx.isActive()) {
-        // Nested XBEGIN: architectural abort of the running transaction.
-        // The existing snapshot and abort target stay in place so the
-        // rollback below behaves like any other abort.
-        Tx.begin();
-        TxAborted = true;
-        break;
-      }
-      TxSnapshot.R = R;
-      TxSnapshot.V = V;
-      TxSnapshot.K = K;
-      TxAbortTarget = D.Target;
-      TxBeginPC = PC;
-      Tx.begin();
-      break;
-    case Opcode::XEnd:
-      if (Tx.commit()) {
-        ++Stats.RtmRetryDepth[std::min(TxAttempts,
-                                       ExecStats::RtmRetryDepthBuckets - 1)];
-        TxAttempts = 0;
-      } else {
-        TxAborted = true; // Injected commit-time abort.
-      }
-      break;
-    case Opcode::XAbort:
-      Tx.abort(rtm::AbortReason::Explicit);
-      TxAborted = true;
-      break;
-    }
-
-    // Transaction abort: memory is already rolled back; restore registers,
-    // then apply the resilience policy — transient aborts re-execute from
-    // XBEGIN (bounded, with exponential backoff) and everything else, or an
-    // exhausted retry budget, dispatches to the abort handler (the
-    // compiled scalar fallback body).
-    if (TxAborted) {
-      R = TxSnapshot.R;
-      V = TxSnapshot.V;
-      K = TxSnapshot.K;
-      rtm::AbortReason Why = Tx.lastAbortReason();
-      recordAbort(Why);
-      if (rtm::isRetryableAbort(Why) && TxAttempts < Limits.MaxRtmRetries) {
-        ++TxAttempts;
-        ++Stats.RtmRetries;
-        Stats.BackoffCycles +=
-            1ULL << std::min(TxAttempts, Limits.MaxRtmBackoffShift);
-        NextPC = TxBeginPC; // Re-execute the XBEGIN.
-      } else {
-        if (rtm::isRetryableAbort(Why))
-          ++Stats.RtmBudgetExhausted; // Retryable, but the budget ran out.
-        TxAttempts = 0;
-        ++Stats.RtmFallbacks;
-        NextPC = static_cast<uint32_t>(TxAbortTarget);
-      }
-      Taken = true;
-      TxAborted = false;
-    }
-
-    ++Stats.Instructions;
-    ++Stats.OpcodeCounts[static_cast<unsigned>(D.Op)];
-    if (D.Flags & FlagBranch) {
-      ++Stats.Branches;
-      if (Taken)
-        ++Stats.TakenBranches;
-    }
-    if (D.Flags & FlagVector) {
-      ++Stats.VectorOps;
-      ++Stats.MaskDensity[std::min(popcount(ActiveMask),
-                                   ExecStats::MaskDensityBuckets - 1)];
-    }
-    Stats.MemoryAccesses += AddrCount;
-
-    if (Sink) {
-      DynInstr &DI = Batch[BatchLen];
-      DI.Instr = &P[PC];
-      DI.InstrIdx = PC;
-      DI.NextIdx = NextPC;
-      DI.Taken = Taken;
-      DI.ActiveMask = ActiveMask;
-      DI.AccessSize = (D.Flags & FlagMemory) ? D.ES : 0;
-      DI.MemAddrs = nullptr; // Fixed up against the pool at flush time.
-      DI.NumMemAddrs = AddrCount;
-      BatchAddrOff[BatchLen] = AddrStart;
-      if (++BatchLen == TraceBatchSize)
-        flushBatch(Sink, Stats);
-    }
-
-    if (Faulted) {
-      // The faulting instruction is delivered before the run stops, just
-      // as the per-instruction path reported it.
-      if (Sink)
-        flushBatch(Sink, Stats);
-      Result.Reason = StopReason::Fault;
-      Result.FaultAddr = FaultAddr;
-      Result.FaultPC = PC;
-      Result.FaultOp = D.Op;
-      return Result;
-    }
-
-    PC = NextPC;
+    if (Fusion.Pairs.count(static_cast<unsigned>(A.Op),
+                           static_cast<unsigned>(B.Op)) < MinStaticPairCount)
+      continue;
+    Plan[I].Handler = HandlerFusedBase + static_cast<uint16_t>(Kind);
+    Fusion.Sites.push_back({static_cast<uint32_t>(I), Kind, Len});
+    I += Len - 1; // Consumed followers cannot head another fusion.
   }
 }
+
+ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
+  if (P.empty())
+    return ExecResult();
+
+  // Decode once into the dense plan; the dynamic loop never touches the
+  // (string-carrying) isa::Instruction records again except to hand trace
+  // consumers their static-instruction pointer.
+  predecode(P);
+  Fusion.Pairs.clear();
+  Fusion.Sites.clear();
+
+  DispatchMode Mode = Limits.Dispatch;
+  if (Mode == DispatchMode::Auto)
+    Mode = defaultDispatchMode();
+
+  if (Mode == DispatchMode::Threaded) {
+    // Superinstructions batch dispatch only; component instructions still
+    // retire statistics individually. A sink needs every component staged
+    // as its own DynInstr, so fusion is engaged only for untraced runs —
+    // traced runs take threaded dispatch with an unfused plan.
+    if (!Sink)
+      fusePlan();
+    return runThreaded(P, Limits, Sink);
+  }
+  return runPlain(P, Limits, Sink);
+}
+
+// Instantiate the shared interpreter body (emu/Interp.inc) twice: the
+// token-threaded switch (reference), then computed-goto dispatch where the
+// `&&label` extension exists.
+#define FLEXVEC_INTERP_GOTO 0
+#define FLEXVEC_INTERP_FN runPlain
+#include "emu/Interp.inc"
+#undef FLEXVEC_INTERP_FN
+#undef FLEXVEC_INTERP_GOTO
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FLEXVEC_INTERP_GOTO 1
+#define FLEXVEC_INTERP_FN runThreaded
+#include "emu/Interp.inc"
+#undef FLEXVEC_INTERP_FN
+#undef FLEXVEC_INTERP_GOTO
+#else
+// Without the computed-goto extension, token-threaded dispatch over the
+// predecoded Handler tokens (superinstructions included) IS threaded mode.
+ExecResult Machine::runThreaded(const Program &P, RunLimits Limits,
+                                TraceSink *Sink) {
+  return runPlain(P, Limits, Sink);
+}
+#endif
 
 // --- Metrics export ------------------------------------------------------===//
 

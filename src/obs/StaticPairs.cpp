@@ -1,0 +1,66 @@
+//===- obs/StaticPairs.cpp ------------------------------------------------===//
+
+#include "obs/StaticPairs.h"
+
+#include <algorithm>
+
+using namespace flexvec;
+using namespace flexvec::obs;
+
+namespace {
+
+bool keyLess(const StaticPairHistogram::Entry &E, uint32_t Key) {
+  return (static_cast<uint32_t>(E.First) << 16 | E.Second) < Key;
+}
+
+uint32_t keyOf(unsigned A, unsigned B) {
+  return static_cast<uint32_t>(A) << 16 | static_cast<uint32_t>(B & 0xffff);
+}
+
+} // namespace
+
+void StaticPairHistogram::add(unsigned A, unsigned B) {
+  uint32_t Key = keyOf(A, B);
+  auto It = std::lower_bound(Entries.begin(), Entries.end(), Key, keyLess);
+  if (It != Entries.end() && It->First == (A & 0xffff) &&
+      It->Second == (B & 0xffff)) {
+    ++It->Count;
+    return;
+  }
+  Entry E;
+  E.First = static_cast<uint16_t>(A);
+  E.Second = static_cast<uint16_t>(B);
+  E.Count = 1;
+  Entries.insert(It, E);
+}
+
+uint64_t StaticPairHistogram::count(unsigned A, unsigned B) const {
+  uint32_t Key = keyOf(A, B);
+  auto It = std::lower_bound(Entries.begin(), Entries.end(), Key, keyLess);
+  if (It != Entries.end() && It->First == (A & 0xffff) &&
+      It->Second == (B & 0xffff))
+    return It->Count;
+  return 0;
+}
+
+uint64_t StaticPairHistogram::total() const {
+  uint64_t T = 0;
+  for (const Entry &E : Entries)
+    T += E.Count;
+  return T;
+}
+
+std::vector<StaticPairHistogram::Entry>
+StaticPairHistogram::top(size_t N) const {
+  std::vector<Entry> Out = Entries;
+  std::sort(Out.begin(), Out.end(), [](const Entry &A, const Entry &B) {
+    if (A.Count != B.Count)
+      return A.Count > B.Count;
+    if (A.First != B.First)
+      return A.First < B.First;
+    return A.Second < B.Second;
+  });
+  if (Out.size() > N)
+    Out.resize(N);
+  return Out;
+}

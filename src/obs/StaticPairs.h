@@ -1,0 +1,67 @@
+//===- obs/StaticPairs.h - Static opcode-pair histogram ---------*- C++ -*-===//
+//
+// Histogram of adjacent static opcode pairs over a finalized program. The
+// emulator's superinstruction pass (emu::Machine) builds one per program
+// and keys every fusion decision on it, so the fusion table is a pure
+// function of the static opcode sequence — never of loop names, comments,
+// or instruction addresses (the cache-safety contract in
+// docs/PERFORMANCE.md). The histogram is sparse: programs are tens to a
+// few hundred instructions, so a sorted vector beats a dense
+// NumOpcodes^2 table that would need clearing per run.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_OBS_STATICPAIRS_H
+#define FLEXVEC_OBS_STATICPAIRS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flexvec {
+namespace obs {
+
+class StaticPairHistogram {
+public:
+  struct Entry {
+    uint16_t First = 0;  ///< Leading symbol (opcode value).
+    uint16_t Second = 0; ///< Trailing symbol.
+    uint64_t Count = 0;
+
+    bool operator==(const Entry &O) const {
+      return First == O.First && Second == O.Second && Count == O.Count;
+    }
+  };
+
+  void clear() { Entries.clear(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Counts one occurrence of the pair (A, B).
+  void add(unsigned A, unsigned B);
+
+  /// Occurrences of (A, B); zero when never added.
+  uint64_t count(unsigned A, unsigned B) const;
+
+  /// Sum over all pairs.
+  uint64_t total() const;
+
+  /// The N most frequent pairs, ties broken by (First, Second) ascending
+  /// so the ranking is deterministic.
+  std::vector<Entry> top(size_t N) const;
+
+  /// All pairs in (First, Second) order.
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  bool operator==(const StaticPairHistogram &O) const {
+    return Entries == O.Entries;
+  }
+
+private:
+  /// Sorted by (First, Second); add() keeps the order.
+  std::vector<Entry> Entries;
+};
+
+} // namespace obs
+} // namespace flexvec
+
+#endif // FLEXVEC_OBS_STATICPAIRS_H

@@ -102,27 +102,20 @@ void MemoryHierarchy::prefetch(uint64_t Addr) {
   }
 }
 
-unsigned MemoryHierarchy::accessLatency(uint64_t Addr, uint32_t,
-                                        Level *LevelOut) {
-  // Same-line memo: a repeat access to the line the previous access
-  // touched is exactly an L1 hit — the previous access left the line at
-  // MRU of its L1 set (hits move to MRU, misses install at MRU, and the
-  // prefetcher only installs *other* lines, whose adjacent line indices
-  // map to different sets), so the LRU move is a no-op and the stride
-  // prefetcher's re-touch of the same line is neutral by construction
-  // (prefetch() returns early when Line == LastLine, and the stream entry
-  // from the previous access is still resident because no other access
-  // has run). Replicating the hit's counter updates keeps every statistic
-  // identical to the full walk.
+unsigned MemoryHierarchy::accessLatencySlow(uint64_t Addr, uint32_t,
+                                            Level *LevelOut) {
+  // Same-line memo (the inline fast path in Cache.h): a repeat access to
+  // the line the previous access touched is exactly an L1 hit — the
+  // previous access left the line at MRU of its L1 set (hits move to MRU,
+  // misses install at MRU, and the prefetcher only installs *other*
+  // lines, whose adjacent line indices map to different sets), so the LRU
+  // move is a no-op and the stride prefetcher's re-touch of the same line
+  // is neutral by construction (prefetch() returns early when
+  // Line == LastLine, and the stream entry from the previous access is
+  // still resident because no other access has run). Replicating the
+  // hit's counter updates keeps every statistic identical to the full
+  // walk. This slow path only runs when the memo missed.
   uint64_t Line = Addr >> 6;
-  if (Line == MemoLine) {
-    ++Stats.Accesses;
-    ++Stats.L1Hits;
-    L1.countHit();
-    if (LevelOut)
-      *LevelOut = Level::L1;
-    return L1.latency();
-  }
   MemoLine = Line;
 
   ++Stats.Accesses;

@@ -80,8 +80,23 @@ public:
   /// Latency of a (demand) access at \p Addr issued by static instruction
   /// \p Pc. Stores use the same path (write-allocate). \p LevelOut, when
   /// non-null, receives the level that serviced the access.
+  ///
+  /// The same-line memo fast path lives here so the (dominant) repeat
+  /// access folds into the caller; see accessLatencySlow in Cache.cpp for
+  /// the exactness argument. The counter updates replicate a full-walk L1
+  /// hit bit for bit.
   unsigned accessLatency(uint64_t Addr, uint32_t Pc,
-                         Level *LevelOut = nullptr);
+                         Level *LevelOut = nullptr) {
+    if ((Addr >> 6) == MemoLine) {
+      ++Stats.Accesses;
+      ++Stats.L1Hits;
+      L1.countHit();
+      if (LevelOut)
+        *LevelOut = Level::L1;
+      return L1.latency();
+    }
+    return accessLatencySlow(Addr, Pc, LevelOut);
+  }
 
   /// Arms the same-line memo for a fresh trace batch (defensive reset; the
   /// memo is exact across batch boundaries too, see Cache.cpp).
@@ -90,6 +105,10 @@ public:
   const MemStats &stats() const { return Stats; }
 
 private:
+  /// The full walk (L1 -> L2 -> L3 -> DRAM) with fills and prefetcher
+  /// training; entered only when the memo above missed.
+  unsigned accessLatencySlow(uint64_t Addr, uint32_t Pc, Level *LevelOut);
+
   void prefetch(uint64_t Addr);
   void installAll(uint64_t Addr);
 

@@ -13,40 +13,6 @@ using namespace flexvec;
 using namespace flexvec::sim;
 using namespace flexvec::isa;
 
-namespace {
-// Per-cycle occupancy window. Only needs to span the spread of cycles
-// that can be live at once — bounded by the ROB depth times the worst
-// per-uop latency (DRAM ~200 cycles plus bandwidth queueing), far below
-// 4096 — while staying small enough that all seven rings sit in L2
-// instead of streaming through megabytes of tags.
-constexpr size_t PortRingSize = 1u << 12;
-} // namespace
-
-OooCore::PortRing::PortRing(unsigned Units)
-    : Units(Units), CycleTag(PortRingSize, ~0ULL), Count(PortRingSize, 0) {}
-
-uint64_t OooCore::PortRing::reserve(uint64_t Earliest) {
-  // Cycles below the watermark are known full; starting there is exactly
-  // where the plain walk would have arrived.
-  uint64_t C = std::max(Earliest, FullBelow);
-  while (true) {
-    size_t Slot = C & (PortRingSize - 1);
-    if (CycleTag[Slot] != C) {
-      CycleTag[Slot] = C;
-      Count[Slot] = 0;
-    }
-    if (Count[Slot] < Units) {
-      ++Count[Slot];
-      if (C == FullBelow && Count[Slot] == Units)
-        FullBelow = C + 1;
-      return C;
-    }
-    if (C == FullBelow)
-      FullBelow = C + 1;
-    ++C;
-  }
-}
-
 OooCore::OooCore(const CoreConfig &Cfg)
     : Cfg(Cfg), Mem(Cfg), RobRing(Cfg.RobEntries, 0), RsRing(Cfg.RsEntries, 0),
       LqRing(Cfg.LoadQueueEntries, 0), SqRing(Cfg.StoreQueueEntries, 0),
@@ -70,63 +36,22 @@ unsigned OooCore::regId(Reg R) {
   unreachable("invalid register for scoreboard");
 }
 
-uint64_t OooCore::fetchSlot() {
-  if (FetchedThisCycle >= Cfg.FetchWidth) {
-    ++FetchCycle;
-    FetchedThisCycle = 0;
-  }
-  ++FetchedThisCycle;
-  return FetchCycle;
-}
-
-uint64_t OooCore::commitSlot(uint64_t Earliest) {
-  if (Earliest > CommitCycle) {
-    CommitCycle = Earliest;
-    CommittedThisCycle = 0;
-  }
-  if (CommittedThisCycle >= Cfg.CommitWidth) {
-    ++CommitCycle;
-    CommittedThisCycle = 0;
-  }
-  ++CommittedThisCycle;
-  return CommitCycle;
-}
-
-uint64_t OooCore::reservePort(PortKind Port, uint64_t Earliest) {
-  switch (Port) {
-  case PortKind::ALU:
-  case PortKind::Branch:
-    return AluRing.reserve(Earliest);
-  case PortKind::Mul:
-    return MulRing.reserve(Earliest);
-  case PortKind::FP:
-  case PortKind::Vec:
-    return VecRing.reserve(Earliest);
-  case PortKind::Load:
-    return LoadRing.reserve(Earliest);
-  case PortKind::Store:
-    return StoreRing.reserve(Earliest);
-  case PortKind::None:
-    return Earliest;
-  }
-  unreachable("unknown port kind");
-}
-
+template <bool IsLoadU, bool IsStoreU>
 uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
   ++Stats.Uops;
   uint64_t Fetch = fetchSlot() + FrontEndDepth;
   uint64_t Window = std::max(RobRing[RobHead], RsRing[RsHead]);
-  if (U.IsLoad)
+  if constexpr (IsLoadU)
     Window = std::max(Window, LqRing[LqHead]);
-  if (U.IsStore)
+  if constexpr (IsStoreU)
     Window = std::max(Window, SqRing[SqHead]);
   uint64_t Dispatch = std::max(Fetch, Window);
 
-  uint64_t Ready = std::max({Dispatch, SrcReady, U.ReadyExtra});
+  uint64_t DepReady = std::max(SrcReady, U.ReadyExtra);
+  uint64_t Ready = std::max(Dispatch, DepReady);
   uint64_t Issue = reservePort(U.Port, Ready);
 
   // Attribute this uop's issue time to the binding constraint.
-  uint64_t DepReady = std::max(SrcReady, U.ReadyExtra);
   if (Issue > Ready)
     ++Stats.BoundByPorts;
   else if (DepReady >= Dispatch)
@@ -137,7 +62,7 @@ uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
     ++Stats.BoundByFrontEnd;
 
   uint64_t Complete = Issue + U.Latency;
-  if (U.IsLoad) {
+  if constexpr (IsLoadU) {
     // Store-to-load forwarding against in-flight stores. The counting
     // filter proves most loads have no matching granule anywhere in the
     // buffer, so the scan only runs when a forward (or a filter-bucket
@@ -165,7 +90,7 @@ uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
       Complete = Fill + U.Latency + Lat;
     }
   }
-  if (U.IsStore) {
+  if constexpr (IsStoreU) {
     // Writes retire into the hierarchy; model the tag access for stats and
     // prefetcher training, but keep it off the completion critical path.
     Mem.accessLatency(U.Addr, Pc);
@@ -188,12 +113,12 @@ uint64_t OooCore::issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc) {
   RsRing[RsHead] = Issue;
   if (++RsHead == RsRing.size())
     RsHead = 0;
-  if (U.IsLoad) {
+  if constexpr (IsLoadU) {
     LqRing[LqHead] = Retire;
     if (++LqHead == LqRing.size())
       LqHead = 0;
   }
-  if (U.IsStore) {
+  if constexpr (IsStoreU) {
     SqRing[SqHead] = Retire;
     if (++SqHead == SqRing.size())
       SqHead = 0;
@@ -279,15 +204,24 @@ void OooCore::step(const emu::DynInstr &DI) {
 
   if (D.LanesPerMemUop > 0) {
     // Gather/scatter: an AGU uop followed by one memory uop per active
-    // lane over the two load ports (or the store port).
+    // lane over the two load ports (or the store port). The load/store
+    // split is hoisted out of the lane loop so each iteration runs the
+    // fully specialized uop path.
     UopDesc Agu{PortKind::Vec, 1};
-    uint64_t AguDone = issueUop(Agu, SrcReady, DI.InstrIdx);
+    uint64_t AguDone = issueUop<false, false>(Agu, SrcReady, DI.InstrIdx);
     Complete = AguDone;
-    for (uint32_t A = 0; A < DI.NumMemAddrs; ++A) {
-      UopDesc MemU{D.IsLoad ? PortKind::Load : PortKind::Store, D.Latency,
-                   D.IsLoad, D.IsStore, DI.MemAddrs[A], AguDone};
-      uint64_t Done = issueUop(MemU, SrcReady, DI.InstrIdx);
-      Complete = std::max(Complete, Done);
+    if (D.IsLoad) {
+      for (uint32_t A = 0; A < DI.NumMemAddrs; ++A) {
+        UopDesc MemU{PortKind::Load, D.Latency, DI.MemAddrs[A], AguDone};
+        uint64_t Done = issueUop<true, false>(MemU, SrcReady, DI.InstrIdx);
+        Complete = std::max(Complete, Done);
+      }
+    } else {
+      for (uint32_t A = 0; A < DI.NumMemAddrs; ++A) {
+        UopDesc MemU{PortKind::Store, D.Latency, DI.MemAddrs[A], AguDone};
+        uint64_t Done = issueUop<false, true>(MemU, SrcReady, DI.InstrIdx);
+        Complete = std::max(Complete, Done);
+      }
     }
   } else if (D.IsMemory) {
     // Scalar or contiguous vector access: one memory uop; a 512-bit access
@@ -297,15 +231,19 @@ void OooCore::step(const emu::DynInstr &DI) {
       First = DI.MemAddrs[0];
       Last = DI.MemAddrs[DI.NumMemAddrs - 1];
     }
-    UopDesc MemU{D.IsLoad ? PortKind::Load : PortKind::Store, D.Latency,
-                 D.IsLoad, D.IsStore, First, 0};
-    Complete = issueUop(MemU, SrcReady, DI.InstrIdx);
-    if (D.IsLoad && (Last >> 6) != (First >> 6)) {
-      // The access straddles a line: if the second line is slower than the
-      // first, the result waits for it.
-      unsigned Extra = Mem.accessLatency(Last, DI.InstrIdx);
-      if (Extra > Cfg.L1D.LatencyCycles)
-        Complete += Extra - Cfg.L1D.LatencyCycles;
+    if (D.IsLoad) {
+      UopDesc MemU{PortKind::Load, D.Latency, First, 0};
+      Complete = issueUop<true, false>(MemU, SrcReady, DI.InstrIdx);
+      if ((Last >> 6) != (First >> 6)) {
+        // The access straddles a line: if the second line is slower than
+        // the first, the result waits for it.
+        unsigned Extra = Mem.accessLatency(Last, DI.InstrIdx);
+        if (Extra > Cfg.L1D.LatencyCycles)
+          Complete += Extra - Cfg.L1D.LatencyCycles;
+      }
+    } else {
+      UopDesc MemU{PortKind::Store, D.Latency, First, 0};
+      Complete = issueUop<false, true>(MemU, SrcReady, DI.InstrIdx);
     }
   } else {
     // Non-memory: FixedUops micro-ops on the unit; the result is ready
@@ -313,7 +251,7 @@ void OooCore::step(const emu::DynInstr &DI) {
     uint64_t FirstDone = 0;
     for (unsigned U = 0; U < D.FixedUops; ++U) {
       UopDesc Desc{D.Port, U == 0 ? D.Latency : 1u};
-      uint64_t Done = issueUop(Desc, SrcReady, DI.InstrIdx);
+      uint64_t Done = issueUop<false, false>(Desc, SrcReady, DI.InstrIdx);
       if (U == 0)
         FirstDone = Done;
       Complete = std::max(Complete, std::max(Done, FirstDone));
@@ -350,6 +288,32 @@ void OooCore::step(const emu::DynInstr &DI) {
     if (Complete > FetchCycle) {
       FetchCycle = Complete;
       FetchedThisCycle = 0;
+    }
+  }
+}
+
+void OooCore::warmBatch(const emu::DynInstr *Batch, size_t N) {
+  Mem.beginBatch();
+  for (size_t I = 0; I < N; ++I) {
+    const emu::DynInstr &DI = Batch[I];
+    const DecodedSim &D = decoded(DI);
+    if (D.Skip)
+      continue;
+    if (D.IsCondBranch)
+      Bp.predictAndUpdate(DI.InstrIdx, DI.Taken);
+    if (!D.IsMemory)
+      continue;
+    if (D.LanesPerMemUop > 0) {
+      for (uint32_t A = 0; A < DI.NumMemAddrs; ++A)
+        Mem.accessLatency(DI.MemAddrs[A], DI.InstrIdx);
+    } else if (DI.NumMemAddrs) {
+      // Same line-touch pattern as the detailed scalar path: the first
+      // address, plus the second line of a straddling access.
+      uint64_t First = DI.MemAddrs[0];
+      uint64_t Last = DI.MemAddrs[DI.NumMemAddrs - 1];
+      Mem.accessLatency(First, DI.InstrIdx);
+      if ((Last >> 6) != (First >> 6))
+        Mem.accessLatency(Last, DI.InstrIdx);
     }
   }
 }

@@ -78,6 +78,36 @@ public:
   /// Final statistics (cycle count is the last retirement).
   SimStats stats() const;
 
+  /// Current cycle count, maintained live at every retirement. Cheap —
+  /// the sampled-simulation wrapper reads it at window boundaries.
+  uint64_t cycles() const { return Stats.Cycles; }
+
+  /// Functional warming: trains the caches (demand path and prefetcher)
+  /// and the branch predictor with a skipped subrange of the stream,
+  /// without touching the scoreboard or the cycle clock. Sampled
+  /// simulation routes skip gaps through this so measurement windows open
+  /// with warm microarchitectural state (the SMARTS recipe); without it,
+  /// post-gap cold misses inflate window CPI by tens of percent.
+  void warmBatch(const emu::DynInstr *Batch, size_t N);
+
+  /// Re-aligns the front-end and commit clocks with the retirement
+  /// watermark. After a sampled skip gap the fetch clock is frozen below
+  /// LastRetire, so the first post-gap instructions would retire in a
+  /// zero-cost bunch at the watermark and then pay the latency ramp again
+  /// inside the measured window — a systematic per-window bias. Jumping
+  /// both clocks to the watermark makes the resumed stream behave as a
+  /// steady-state continuation.
+  void resyncClock() {
+    if (LastRetire > FetchCycle) {
+      FetchCycle = LastRetire;
+      FetchedThisCycle = 0;
+    }
+    if (LastRetire > CommitCycle) {
+      CommitCycle = LastRetire;
+      CommittedThisCycle = 0;
+    }
+  }
+
 private:
   /// Plays one retired instruction through the scoreboard.
   void step(const emu::DynInstr &DI);
@@ -117,26 +147,64 @@ private:
   struct UopDesc {
     isa::PortKind Port;
     unsigned Latency;
-    bool IsLoad = false;
-    bool IsStore = false;
     uint64_t Addr = 0;
     uint64_t ReadyExtra = 0; ///< Extra readiness constraint (chained uops).
   };
 
   /// Runs one micro-op through the scoreboard; returns its completion
-  /// cycle.
+  /// cycle. Load/store-ness is a template parameter so each of the three
+  /// shapes (ALU, load, store) specializes with its queue checks and
+  /// memory path resolved at compile time — step() picks the
+  /// instantiation once per instruction, outside the per-lane uop loops.
+  template <bool IsLoadU, bool IsStoreU>
   uint64_t issueUop(const UopDesc &U, uint64_t SrcReady, uint32_t Pc);
 
   /// Out-of-order issue: finds the earliest cycle >= Earliest with a free
   /// unit of \p Port and reserves it (per-cycle occupancy rings, so a late
   /// dependent uop does not block younger independent ones).
-  uint64_t reservePort(isa::PortKind Port, uint64_t Earliest);
+  uint64_t reservePort(isa::PortKind Port, uint64_t Earliest) {
+    switch (Port) {
+    case isa::PortKind::ALU:
+    case isa::PortKind::Branch:
+      return AluRing.reserve(Earliest);
+    case isa::PortKind::Mul:
+      return MulRing.reserve(Earliest);
+    case isa::PortKind::FP:
+    case isa::PortKind::Vec:
+      return VecRing.reserve(Earliest);
+    case isa::PortKind::Load:
+      return LoadRing.reserve(Earliest);
+    case isa::PortKind::Store:
+      return StoreRing.reserve(Earliest);
+    case isa::PortKind::None:
+      return Earliest;
+    }
+    return Earliest; // Unreachable; keeps the inline body noexcept-simple.
+  }
 
   /// Consumes one fetch slot; returns the fetch cycle.
-  uint64_t fetchSlot();
+  uint64_t fetchSlot() {
+    if (FetchedThisCycle >= Cfg.FetchWidth) {
+      ++FetchCycle;
+      FetchedThisCycle = 0;
+    }
+    ++FetchedThisCycle;
+    return FetchCycle;
+  }
 
   /// Consumes one commit slot at or after \p Earliest; returns the cycle.
-  uint64_t commitSlot(uint64_t Earliest);
+  uint64_t commitSlot(uint64_t Earliest) {
+    if (Earliest > CommitCycle) {
+      CommitCycle = Earliest;
+      CommittedThisCycle = 0;
+    }
+    if (CommittedThisCycle >= Cfg.CommitWidth) {
+      ++CommitCycle;
+      CommittedThisCycle = 0;
+    }
+    ++CommittedThisCycle;
+    return CommitCycle;
+  }
 
   CoreConfig Cfg;
   MemoryHierarchy Mem;
@@ -158,11 +226,38 @@ private:
   std::vector<uint64_t> RobRing, RsRing, LqRing, SqRing;
   size_t RobHead = 0, RsHead = 0, LqHead = 0, SqHead = 0;
 
-  // Execution units: per-cycle occupancy rings per port kind.
+  // Execution units: per-cycle occupancy rings per port kind. The window
+  // only needs to span the spread of cycles that can be live at once —
+  // bounded by the ROB depth times the worst per-uop latency (DRAM ~200
+  // cycles plus bandwidth queueing), far below 4096 — while staying small
+  // enough that all seven rings sit in L2 instead of streaming through
+  // megabytes of tags.
   struct PortRing {
-    explicit PortRing(unsigned Units = 1);
+    static constexpr size_t RingSize = 1u << 10;
+    explicit PortRing(unsigned Units = 1)
+        : Units(Units), CycleTag(RingSize, ~0ULL), Count(RingSize, 0) {}
     /// Earliest cycle >= Earliest with spare capacity; reserves it.
-    uint64_t reserve(uint64_t Earliest);
+    uint64_t reserve(uint64_t Earliest) {
+      // Cycles below the watermark are known full; starting there is
+      // exactly where the plain walk would have arrived.
+      uint64_t C = Earliest > FullBelow ? Earliest : FullBelow;
+      while (true) {
+        size_t Slot = C & (RingSize - 1);
+        if (CycleTag[Slot] != C) {
+          CycleTag[Slot] = C;
+          Count[Slot] = 0;
+        }
+        if (Count[Slot] < Units) {
+          ++Count[Slot];
+          if (C == FullBelow && Count[Slot] == Units)
+            FullBelow = C + 1;
+          return C;
+        }
+        if (C == FullBelow)
+          FullBelow = C + 1;
+        ++C;
+      }
+    }
     unsigned Units;
     /// Every cycle below this is at capacity. Occupancy is monotone —
     /// reservations only add — so the watermark lets a probe on a

@@ -1,0 +1,180 @@
+//===- sim/Sampled.cpp ----------------------------------------------------===//
+
+#include "sim/Sampled.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flexvec;
+using namespace flexvec::sim;
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix, so consecutive
+/// interval indices land at uncorrelated window offsets.
+uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+SampledCore::SampledCore(OooCore &Inner, const SampleConfig &Cfg)
+    : Inner(Inner), Cfg(Cfg) {
+  // Sanitize degenerate regimens instead of rejecting them: a window must
+  // measure at least one instruction, and a window longer than its
+  // interval simply means "simulate everything" (back-to-back windows).
+  this->Cfg.DetailInstrs = std::max<uint64_t>(1, this->Cfg.DetailInstrs);
+  uint64_t Window = this->Cfg.WarmupInstrs + this->Cfg.DetailInstrs;
+  this->Cfg.IntervalInstrs = std::max(this->Cfg.IntervalInstrs, Window);
+  // Interval 0's window is pinned to offset 0 (see windowOffset), so the
+  // run opens in warmup — or directly in measure with no warmup.
+  Ph = this->Cfg.WarmupInstrs ? Phase::Warmup : Phase::Measure;
+  NextBoundary = this->Cfg.WarmupInstrs ? this->Cfg.WarmupInstrs
+                                        : this->Cfg.DetailInstrs;
+  if (Ph == Phase::Measure) {
+    CycAtMeasureStart = 0;
+    MeasureStartIdx = 0;
+  }
+}
+
+uint64_t SampledCore::windowOffset(uint64_t K) const {
+  if (K == 0)
+    return 0; // Pin the first window so short runs are simulated exactly.
+  uint64_t Window = Cfg.WarmupInstrs + Cfg.DetailInstrs;
+  uint64_t Range = Cfg.IntervalInstrs - Window + 1;
+  return mix64(Cfg.Seed ^ mix64(K)) % Range;
+}
+
+void SampledCore::advancePhase() {
+  switch (Ph) {
+  case Phase::Warmup:
+    Ph = Phase::Measure;
+    CycAtMeasureStart = Inner.cycles();
+    MeasureStartIdx = GlobalIdx;
+    NextBoundary = GlobalIdx + Cfg.DetailInstrs;
+    return;
+  case Phase::Measure: {
+    // Window complete: record its cycle delta, keyed by interval index
+    // (stats() charges each interval at its own window's CPI).
+    assert(WindowCycles.size() == IntervalIdx && "one window per interval");
+    WindowCycles.push_back(Inner.cycles() - CycAtMeasureStart);
+    ++IntervalIdx;
+    uint64_t Start =
+        IntervalIdx * Cfg.IntervalInstrs + windowOffset(IntervalIdx);
+    if (Start > GlobalIdx) {
+      Ph = Phase::Skip;
+      NextBoundary = Start;
+    } else {
+      // Back-to-back windows (interval == window): straight into warmup.
+      Ph = Cfg.WarmupInstrs ? Phase::Warmup : Phase::Measure;
+      NextBoundary = GlobalIdx + (Cfg.WarmupInstrs ? Cfg.WarmupInstrs
+                                                   : Cfg.DetailInstrs);
+      if (Ph == Phase::Measure) {
+        CycAtMeasureStart = Inner.cycles();
+        MeasureStartIdx = GlobalIdx;
+      }
+    }
+    return;
+  }
+  case Phase::Skip:
+    Inner.resyncClock(); // See OooCore.h: avoids post-gap retire bunching.
+    Ph = Cfg.WarmupInstrs ? Phase::Warmup : Phase::Measure;
+    NextBoundary = GlobalIdx + (Cfg.WarmupInstrs ? Cfg.WarmupInstrs
+                                                 : Cfg.DetailInstrs);
+    if (Ph == Phase::Measure) {
+      CycAtMeasureStart = Inner.cycles();
+      MeasureStartIdx = GlobalIdx;
+    }
+    return;
+  }
+}
+
+void SampledCore::onInstr(const emu::DynInstr &DI) { onBatch(&DI, 1); }
+
+void SampledCore::onBatch(const emu::DynInstr *Batch, size_t N) {
+  size_t Off = 0;
+  while (Off < N) {
+    size_t Chunk = N - Off;
+    uint64_t ToBoundary = NextBoundary - GlobalIdx;
+    if (ToBoundary < Chunk)
+      Chunk = static_cast<size_t>(ToBoundary);
+    if (Ph != Phase::Skip) {
+      Inner.onBatch(Batch + Off, Chunk);
+      DetailedInstrs += Chunk;
+    } else {
+      // Functional warming: skipped instructions still train caches and
+      // the predictor (no scoreboard), so the next window's CPI is not
+      // poisoned by artificial cold misses. Attribution is per interval
+      // (a skip span can cross an interval boundary, so clip the chunk).
+      uint64_t K = GlobalIdx / Cfg.IntervalInstrs;
+      uint64_t IvalEnd = (K + 1) * Cfg.IntervalInstrs;
+      if (IvalEnd - GlobalIdx < Chunk)
+        Chunk = static_cast<size_t>(IvalEnd - GlobalIdx);
+      if (SkippedPer.size() <= K)
+        SkippedPer.resize(K + 1, 0);
+      SkippedPer[K] += Chunk;
+      Inner.warmBatch(Batch + Off, Chunk);
+    }
+    GlobalIdx += Chunk;
+    Off += Chunk;
+    if (GlobalIdx == NextBoundary)
+      advancePhase();
+  }
+}
+
+SampledStats SampledCore::stats() const {
+  SampledStats S;
+  S.Instructions = GlobalIdx;
+  S.DetailedInstructions = DetailedInstrs;
+  S.Windows = WindowCycles.size();
+  S.MeasuredInstructions = S.Windows * Cfg.DetailInstrs;
+  if (Ph == Phase::Measure && GlobalIdx > MeasureStartIdx)
+    S.MeasuredInstructions += GlobalIdx - MeasureStartIdx;
+
+  // Every detailed instruction (warmup and measure alike) is charged at
+  // its real cost: the inner clock only advances while the model is fed,
+  // so Inner.cycles() is exactly the cycles of the detailed subset. Only
+  // skipped spans are extrapolated, each at its own interval's window CPI
+  // — integer arithmetic throughout (__int128 intermediates; cycles per
+  // window and instructions per span are both far below 2^40), so the
+  // estimate is a pure function of (trace, config). A stream that never
+  // skipped — shorter than interval 0's pinned window, or a back-to-back
+  // regimen — therefore degrades to the exact full-fidelity cycle count.
+  unsigned __int128 Est = Inner.cycles();
+  for (uint64_t K = 0; K < SkippedPer.size(); ++K) {
+    if (!SkippedPer[K])
+      continue;
+    uint64_t Cyc, Ins;
+    if (K == 0 && WindowCycles.size() >= 2) {
+      // Interval 0's window is pinned at offset 0, so its CPI folds in the
+      // program's cold-start transient — but the interval's skipped span
+      // lies entirely *after* that window and runs warm. Charge it at the
+      // next window's (warm) CPI; on short streams this is the difference
+      // between a few percent and ~15% of systematic overestimate.
+      Cyc = WindowCycles[1];
+      Ins = Cfg.DetailInstrs;
+    } else if (K < WindowCycles.size()) {
+      Cyc = WindowCycles[K];
+      Ins = Cfg.DetailInstrs;
+    } else if (Ph == Phase::Measure && GlobalIdx > MeasureStartIdx) {
+      // Tail interval whose window was still measuring at stream end:
+      // use the partial delta (nearest measurement in program order).
+      Cyc = Inner.cycles() - CycAtMeasureStart;
+      Ins = GlobalIdx - MeasureStartIdx;
+    } else {
+      // Tail skipped/warming at stream end: reuse the last window's CPI.
+      // SkippedPer is only populated after a window completed (interval
+      // 0's window is pinned at offset 0), so WindowCycles is non-empty.
+      Cyc = WindowCycles.back();
+      Ins = Cfg.DetailInstrs;
+    }
+    if (!Ins)
+      continue;
+    Est += static_cast<unsigned __int128>(Cyc) * SkippedPer[K] / Ins;
+  }
+  S.EstimatedCycles = static_cast<uint64_t>(Est);
+  return S;
+}

@@ -1,0 +1,106 @@
+//===- sim/Sampled.h - Sampled (interval) simulation ------------*- C++ -*-===//
+//
+// SMARTS-style sampled simulation: the functional emulator always runs at
+// full speed, but the detailed OOO model only sees deterministic,
+// seed-chosen windows of the retirement stream. Each interval of
+// IntervalInstrs retired instructions contributes one window of
+// WarmupInstrs (fed to the model to re-warm caches, predictor, and
+// scoreboard after a skip gap, but not measured) followed by DetailInstrs
+// measured instructions; the cycles spent over the measured portion give
+// the window's CPI, and the whole interval is charged at that CPI. All
+// arithmetic is integer (__int128 intermediates), so the estimate is a
+// pure function of (trace, config) — byte-stable across hosts and worker
+// counts, exactly like the full-fidelity payload.
+//
+// Window placement is deterministic: interval k's window starts at offset
+// hash(Seed, k) within the interval (uniform over the legal range), except
+// interval 0, whose window is pinned to offset 0 so short programs are
+// simulated in full and the estimate degrades to the exact cycle count.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_SIM_SAMPLED_H
+#define FLEXVEC_SIM_SAMPLED_H
+
+#include "sim/OooCore.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace flexvec {
+namespace sim {
+
+/// Sampling regimen. The defaults target the Figure 8 sweep, whose
+/// per-cell streams run tens of thousands to a few million instructions:
+/// a (3k warmup + 10k measure) window every 25k instructions holds the
+/// sweep's group geomeans within ~0.4% of full fidelity (documented bound
+/// 2%; SampledErrorBoundTest asserts it) while skipping roughly half the
+/// scoreboard work. Longer streams tolerate proportionally longer
+/// intervals — the error decomposition is in docs/PERFORMANCE.md.
+struct SampleConfig {
+  uint64_t IntervalInstrs = 25000; ///< Instructions per sampling interval.
+  uint64_t DetailInstrs = 10000;   ///< Measured instructions per window.
+  uint64_t WarmupInstrs = 3000;    ///< Unmeasured warmup before measuring.
+  uint64_t Seed = 1;               ///< Window-placement seed.
+};
+
+/// Results of one sampled execution.
+struct SampledStats {
+  uint64_t Instructions = 0;         ///< Total retired (full stream).
+  uint64_t EstimatedCycles = 0;      ///< Extrapolated cycle count.
+  uint64_t MeasuredInstructions = 0; ///< Instructions in measure phases.
+  uint64_t DetailedInstructions = 0; ///< Fed to the model (warmup+measure).
+  uint64_t Windows = 0;              ///< Completed measurement windows.
+};
+
+/// Trace sink that routes seed-chosen subranges of the retirement stream
+/// into an inner OooCore and extrapolates whole-run cycles from the
+/// per-window measurements. Attach in place of the OooCore itself.
+class SampledCore : public emu::TraceSink {
+public:
+  SampledCore(OooCore &Inner, const SampleConfig &Cfg);
+
+  void onInstr(const emu::DynInstr &DI) override;
+  void onBatch(const emu::DynInstr *Batch, size_t N) override;
+
+  /// Final statistics; performs the tail extrapolation (see Sampled.cpp).
+  SampledStats stats() const;
+
+  /// The wrapped detailed model (its counters cover only the detailed
+  /// subset of the stream).
+  const OooCore &inner() const { return Inner; }
+
+private:
+  enum class Phase : uint8_t { Skip, Warmup, Measure };
+
+  /// Start-of-window offset for interval \p K, in [0, Interval - Window].
+  uint64_t windowOffset(uint64_t K) const;
+
+  /// Crosses the phase boundary at NextBoundary and arms the next one.
+  void advancePhase();
+
+  OooCore &Inner;
+  SampleConfig Cfg;
+
+  uint64_t GlobalIdx = 0;    ///< Retired instructions seen so far.
+  uint64_t IntervalIdx = 0;  ///< Interval currently in flight.
+  Phase Ph = Phase::Warmup;  ///< Interval 0's window starts at offset 0.
+  uint64_t NextBoundary = 0; ///< GlobalIdx at which Ph changes.
+
+  uint64_t CycAtMeasureStart = 0;
+  uint64_t MeasureStartIdx = 0;
+  /// Measured cycle delta of each completed window, by interval index.
+  std::vector<uint64_t> WindowCycles;
+  /// Skipped (warm-only) instructions of each interval. The estimator
+  /// charges detailed instructions at their real cost — the inner clock
+  /// only advances while feeding — and extrapolates just these spans at
+  /// the owning interval's window CPI.
+  std::vector<uint64_t> SkippedPer;
+
+  uint64_t DetailedInstrs = 0;
+};
+
+} // namespace sim
+} // namespace flexvec
+
+#endif // FLEXVEC_SIM_SAMPLED_H

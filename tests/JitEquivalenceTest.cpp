@@ -1,0 +1,443 @@
+//===- tests/JitEquivalenceTest.cpp - Dispatch-mode equivalence ------------===//
+//
+// The dispatch contract (emu/Machine.h): the computed-goto threaded loop
+// with the superinstruction pass engaged is *observably identical* to the
+// reference plain switch loop — same ExecStats field for field, same
+// trace-batch stream, same memory fingerprints and live-outs — so the
+// choice of dispatch loop is purely a speed knob. This suite holds that
+// contract across the whole Figure-8 corpus, both fuzz envelopes (pinned
+// seeds), and a seeded RTM abort storm, and pins the fusion pass's
+// determinism: decisions key on the static opcode sequence only, never on
+// loop names (the compiled-loop cache shares programs across names).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Compiled.h"
+#include "core/CompileCache.h"
+#include "core/Evaluator.h"
+#include "core/FaultHarness.h"
+#include "core/ParallelEvaluator.h"
+#include "core/Pipeline.h"
+#include "gen/Gen.h"
+#include "ir/Parser.h"
+#include "support/Hash.h"
+#include "support/Random.h"
+#include "workloads/Figure8.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace flexvec;
+
+namespace {
+
+uint64_t hashCombine(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+/// Order-sensitive digest over every observable field of a DynInstr
+/// record, including the per-lane effective addresses (same folding as
+/// TraceBatchTest, so a divergence here means the dispatch loops did not
+/// deliver identical streams).
+struct RecordDigest {
+  uint64_t H = 0;
+  uint64_t Count = 0;
+
+  void fold(const emu::DynInstr &DI) {
+    H = hashCombine(H, static_cast<uint64_t>(DI.Instr->Op));
+    H = hashCombine(H, DI.InstrIdx);
+    H = hashCombine(H, DI.NextIdx);
+    H = hashCombine(H, DI.Taken ? 1 : 0);
+    H = hashCombine(H, DI.ActiveMask);
+    H = hashCombine(H, DI.AccessSize);
+    H = hashCombine(H, DI.NumMemAddrs);
+    for (uint32_t A = 0; A < DI.NumMemAddrs; ++A)
+      H = hashCombine(H, DI.MemAddrs[A]);
+    ++Count;
+  }
+};
+
+class DigestSink : public emu::TraceSink {
+public:
+  RecordDigest D;
+  void onInstr(const emu::DynInstr &DI) override { D.fold(DI); }
+  void onBatch(const emu::DynInstr *Batch, size_t N) override {
+    for (size_t I = 0; I < N; ++I)
+      D.fold(Batch[I]);
+  }
+};
+
+/// runProgramMulti with the dispatch mode pinned (the core API resolves
+/// DispatchMode::Auto from the environment, which is exactly what an
+/// equivalence test must not depend on). Mirrors core::runProgramMulti's
+/// binding conventions; optionally copies the final run's fusion report.
+core::RunOutcome runWithDispatch(const ir::LoopFunction &F,
+                                 const codegen::CompiledLoop &CL,
+                                 const mem::Memory &BaseImage,
+                                 const std::vector<ir::Bindings> &Invocations,
+                                 emu::DispatchMode Mode,
+                                 emu::TraceSink *Sink = nullptr,
+                                 emu::FusionReport *FusionOut = nullptr) {
+  core::RunOutcome Out;
+  Out.Ok = true;
+  mem::Memory M = BaseImage.clone();
+  core::setUpDispatchCell(CL, M);
+  emu::Machine Machine(M);
+  emu::RunLimits Limits;
+  Limits.Dispatch = Mode;
+  for (const ir::Bindings &B : Invocations) {
+    Machine.resetRegisters();
+    for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+      Machine.setScalar(codegen::scalarParamReg(static_cast<int>(S)).Index,
+                        B.ScalarValues[S]);
+    for (size_t A = 0; A < B.ArrayBases.size(); ++A)
+      Machine.setScalar(codegen::arrayBaseReg(static_cast<int>(A)).Index,
+                        static_cast<int64_t>(B.ArrayBases[A]));
+    emu::ExecResult R = Machine.run(CL.Prog, Limits, Sink);
+    Out.Exec.Stats.merge(R.Stats);
+    if (R.Reason != emu::StopReason::Halted) {
+      Out.Ok = false;
+      Out.Error = "invocation failed: " + R.describe();
+      break;
+    }
+    Out.LiveOuts.clear();
+    for (size_t S = 0; S < B.ScalarValues.size(); ++S)
+      Out.LiveOuts.push_back(Machine.getScalar(
+          codegen::scalarParamReg(static_cast<int>(S)).Index));
+    uint64_t H = Out.LiveOutHash;
+    for (size_t S = 0; S < F.scalars().size(); ++S)
+      if (F.scalar(S).IsLiveOut)
+        H = hashCombine(H, static_cast<uint64_t>(Out.LiveOuts[S]));
+    Out.LiveOutHash = H;
+  }
+  if (FusionOut)
+    *FusionOut = Machine.fusionReport();
+  Out.Tx = Machine.txStats();
+  Out.HasDispatch = core::tearDownDispatchCell(CL, M, Out.Dispatch);
+  Out.MemFingerprint = M.fingerprint();
+  return Out;
+}
+
+/// Every field of ExecStats, element for element — fusion preserves
+/// component semantics exactly, so even the opcode counts and the
+/// mask-density histogram must match.
+void expectStatsEqual(const emu::ExecStats &A, const emu::ExecStats &B,
+                      const std::string &Where) {
+  EXPECT_EQ(A.Instructions, B.Instructions) << Where;
+  EXPECT_EQ(A.Branches, B.Branches) << Where;
+  EXPECT_EQ(A.TakenBranches, B.TakenBranches) << Where;
+  EXPECT_EQ(A.MemoryAccesses, B.MemoryAccesses) << Where;
+  EXPECT_EQ(A.VectorOps, B.VectorOps) << Where;
+  EXPECT_EQ(A.RtmRetries, B.RtmRetries) << Where;
+  EXPECT_EQ(A.RtmFallbacks, B.RtmFallbacks) << Where;
+  EXPECT_EQ(A.RtmBudgetExhausted, B.RtmBudgetExhausted) << Where;
+  EXPECT_EQ(A.BackoffCycles, B.BackoffCycles) << Where;
+  EXPECT_EQ(A.VplSteps, B.VplSteps) << Where;
+  EXPECT_EQ(A.VplPartitions, B.VplPartitions) << Where;
+  EXPECT_EQ(A.FFClips, B.FFClips) << Where;
+  EXPECT_EQ(A.FFSuppressedLanes, B.FFSuppressedLanes) << Where;
+  EXPECT_EQ(A.ConflictChecks, B.ConflictChecks) << Where;
+  EXPECT_EQ(A.ConflictHits, B.ConflictHits) << Where;
+  EXPECT_EQ(A.MaskDensity, B.MaskDensity) << Where;
+  EXPECT_EQ(A.RtmRetryDepth, B.RtmRetryDepth) << Where;
+  EXPECT_EQ(A.OpcodeCounts, B.OpcodeCounts) << Where;
+  // TraceBatches intentionally excluded: batching cadence is a delivery
+  // detail (the stream-content digests pin the actual records).
+}
+
+std::string cellName(const std::string &Workload, unsigned V) {
+  return Workload + "/" + core::variantName(static_cast<core::VariantId>(V));
+}
+
+// --- Figure-8 corpus: stats, memory, and live-outs -----------------------===//
+
+TEST(JitEquivalence, Figure8CellsIdenticalAcrossDispatchModes) {
+  workloads::Figure8Suite Suite =
+      workloads::buildFigure8Suite(/*IterationScale=*/0.02);
+  uint64_t CellsChecked = 0, FusionSites = 0;
+  for (const core::SweepWorkload &W : Suite.Workloads) {
+    core::PipelineResult PR = core::compileLoop(*W.F);
+    Rng R(deriveStreamSeed(/*BaseSeed=*/1, fnv1a64(W.Name)));
+    core::WorkloadInstance In = W.Gen(R);
+    for (unsigned V = 0; V < core::NumVariants; ++V) {
+      const codegen::CompiledLoop *CL =
+          core::selectVariant(PR, static_cast<core::VariantId>(V));
+      if (!CL)
+        continue;
+      std::string Where = cellName(W.Name, V);
+      // Sinkless runs: this is the configuration where the threaded loop
+      // actually engages the superinstruction pass, so the comparison
+      // covers fused dispatch, not just the goto loop.
+      emu::FusionReport FR;
+      core::RunOutcome Plain =
+          runWithDispatch(*W.F, *CL, In.Image, In.Invocations,
+                          emu::DispatchMode::Plain);
+      core::RunOutcome Threaded =
+          runWithDispatch(*W.F, *CL, In.Image, In.Invocations,
+                          emu::DispatchMode::Threaded, nullptr, &FR);
+      ASSERT_TRUE(Plain.Ok) << Where << ": " << Plain.Error;
+      ASSERT_TRUE(Threaded.Ok) << Where << ": " << Threaded.Error;
+
+      expectStatsEqual(Plain.Exec.Stats, Threaded.Exec.Stats, Where);
+      EXPECT_EQ(Plain.MemFingerprint, Threaded.MemFingerprint) << Where;
+      EXPECT_EQ(Plain.LiveOutHash, Threaded.LiveOutHash) << Where;
+      EXPECT_EQ(Plain.LiveOuts, Threaded.LiveOuts) << Where;
+      EXPECT_EQ(Plain.Tx.Commits, Threaded.Tx.Commits) << Where;
+      EXPECT_EQ(Plain.Tx.Aborts, Threaded.Tx.Aborts) << Where;
+      EXPECT_EQ(Plain.HasDispatch, Threaded.HasDispatch) << Where;
+      if (Plain.HasDispatch) {
+        EXPECT_EQ(Plain.Dispatch.Invocations, Threaded.Dispatch.Invocations)
+            << Where;
+        EXPECT_EQ(Plain.Dispatch.Demotions, Threaded.Dispatch.Demotions)
+            << Where;
+      }
+      FusionSites += FR.Sites.size();
+      ++CellsChecked;
+    }
+  }
+  EXPECT_GE(CellsChecked, 18u * 2u);
+  // The corpus must actually exercise fused dispatch somewhere, or the
+  // whole comparison degenerates to plain-vs-plain.
+  EXPECT_GT(FusionSites, 0u);
+}
+
+// --- Figure-8 corpus: trace-stream equality ------------------------------===//
+
+TEST(JitEquivalence, TraceStreamsIdenticalAcrossDispatchModes) {
+  workloads::Figure8Suite Suite =
+      workloads::buildFigure8Suite(/*IterationScale=*/0.02);
+  uint64_t CellsChecked = 0;
+  for (const core::SweepWorkload &W : Suite.Workloads) {
+    core::PipelineResult PR = core::compileLoop(*W.F);
+    Rng R(deriveStreamSeed(1, fnv1a64(W.Name)));
+    core::WorkloadInstance In = W.Gen(R);
+    for (unsigned V = 0; V < core::NumVariants; ++V) {
+      const codegen::CompiledLoop *CL =
+          core::selectVariant(PR, static_cast<core::VariantId>(V));
+      if (!CL)
+        continue;
+      std::string Where = cellName(W.Name, V);
+      DigestSink PlainSink, ThreadedSink;
+      core::RunOutcome Plain =
+          runWithDispatch(*W.F, *CL, In.Image, In.Invocations,
+                          emu::DispatchMode::Plain, &PlainSink);
+      core::RunOutcome Threaded =
+          runWithDispatch(*W.F, *CL, In.Image, In.Invocations,
+                          emu::DispatchMode::Threaded, &ThreadedSink);
+      ASSERT_TRUE(Plain.Ok && Threaded.Ok) << Where;
+      EXPECT_EQ(PlainSink.D.Count, ThreadedSink.D.Count) << Where;
+      EXPECT_EQ(PlainSink.D.H, ThreadedSink.D.H)
+          << Where << ": threaded dispatch delivered a different trace";
+      ++CellsChecked;
+    }
+  }
+  EXPECT_GE(CellsChecked, 18u * 2u);
+}
+
+// --- Fuzz envelopes, pinned seeds ----------------------------------------===//
+
+void runFuzzEquivalence(const gen::Envelope &E, uint64_t Seed) {
+  gen::GeneratedLoop G = gen::generateLoop(Seed, E);
+  core::PipelineResult PR = core::compileLoop(*G.F);
+  gen::InputPlan Plan;
+  Plan.IndexMask = E.IndexMask;
+  Plan.IndexBound = E.TableSize;
+  Plan.ArraySlack = E.MaxAffineOffset + 4;
+  Rng R(deriveStreamSeed(Seed, 0xd15b));
+  mem::Memory Image;
+  ir::Bindings B = ir::Bindings::forFunction(*G.F);
+  gen::buildConventionInputs(*G.F, R, Plan, Image, B);
+  // Two invocations over the same (persistent) image to cover the
+  // multi-invocation reset path under both dispatch loops.
+  std::vector<ir::Bindings> Invocations{B, B};
+  for (unsigned V = 0; V < core::NumVariants; ++V) {
+    const codegen::CompiledLoop *CL =
+        core::selectVariant(PR, static_cast<core::VariantId>(V));
+    if (!CL)
+      continue;
+    std::string Where = "seed " + std::to_string(Seed) + " variant " +
+                        core::variantName(static_cast<core::VariantId>(V));
+    core::RunOutcome Plain = runWithDispatch(
+        *G.F, *CL, Image, Invocations, emu::DispatchMode::Plain);
+    core::RunOutcome Threaded = runWithDispatch(
+        *G.F, *CL, Image, Invocations, emu::DispatchMode::Threaded);
+    ASSERT_TRUE(Plain.Ok) << Where << ": " << Plain.Error;
+    ASSERT_TRUE(Threaded.Ok) << Where << ": " << Threaded.Error;
+    expectStatsEqual(Plain.Exec.Stats, Threaded.Exec.Stats, Where);
+    EXPECT_EQ(Plain.MemFingerprint, Threaded.MemFingerprint) << Where;
+    EXPECT_EQ(Plain.LiveOutHash, Threaded.LiveOutHash) << Where;
+  }
+}
+
+TEST(JitEquivalence, ClassicEnvelopeIdenticalAcrossDispatchModes) {
+  for (uint64_t Seed = 0; Seed < 12; ++Seed)
+    runFuzzEquivalence(gen::Envelope::classic(), Seed);
+}
+
+TEST(JitEquivalence, WidenedEnvelopeIdenticalAcrossDispatchModes) {
+  for (uint64_t Seed = 0; Seed < 12; ++Seed)
+    runFuzzEquivalence(gen::Envelope::widened(), Seed);
+}
+
+// --- Fault storm ---------------------------------------------------------===//
+
+TEST(JitEquivalence, FaultStormIdenticalAcrossDispatchModes) {
+  // A seeded RTM conflict-abort storm exercises the retry/backoff/fallback
+  // machinery — the paths where the threaded loop's fused heads must still
+  // deliver aborts, snapshots, and retries exactly like the plain loop.
+  workloads::Figure8Suite Suite =
+      workloads::buildFigure8Suite(/*IterationScale=*/0.02);
+  uint64_t StormyCells = 0;
+  for (const core::SweepWorkload &W : Suite.Workloads) {
+    core::PipelineResult PR = core::compileLoop(*W.F);
+    Rng R(deriveStreamSeed(1, fnv1a64(W.Name)));
+    core::WorkloadInstance In = W.Gen(R);
+    for (unsigned V = 0; V < core::NumVariants; ++V) {
+      const codegen::CompiledLoop *CL =
+          core::selectVariant(PR, static_cast<core::VariantId>(V));
+      if (!CL)
+        continue;
+      core::FaultPlan Plan;
+      Plan.Tx.Seed = deriveStreamSeed(fnv1a64(W.Name), V);
+      Plan.Tx.AbortProb = 0.5;
+      std::string Where = cellName(W.Name, V);
+
+      Plan.Dispatch = emu::DispatchMode::Plain;
+      core::FaultedRun Plain = core::runProgramMultiWithFaults(
+          *W.F, *CL, In.Image, In.Invocations, Plan);
+      Plan.Dispatch = emu::DispatchMode::Threaded;
+      core::FaultedRun Threaded = core::runProgramMultiWithFaults(
+          *W.F, *CL, In.Image, In.Invocations, Plan);
+
+      ASSERT_EQ(Plain.Outcome.Ok, Threaded.Outcome.Ok) << Where;
+      expectStatsEqual(Plain.Outcome.Exec.Stats, Threaded.Outcome.Exec.Stats,
+                       Where);
+      EXPECT_EQ(Plain.Outcome.MemFingerprint, Threaded.Outcome.MemFingerprint)
+          << Where;
+      EXPECT_EQ(Plain.Outcome.LiveOutHash, Threaded.Outcome.LiveOutHash)
+          << Where;
+      // The same abort schedule must have been injected and absorbed the
+      // same way: identical injector and transaction-unit counters.
+      EXPECT_EQ(Plain.Injection.TxOpsSeen, Threaded.Injection.TxOpsSeen)
+          << Where;
+      EXPECT_EQ(Plain.Injection.TxAbortsInjected,
+                Threaded.Injection.TxAbortsInjected)
+          << Where;
+      EXPECT_EQ(Plain.Tx.Commits, Threaded.Tx.Commits) << Where;
+      EXPECT_EQ(Plain.Tx.Aborts, Threaded.Tx.Aborts) << Where;
+      StormyCells += Plain.Injection.TxAbortsInjected > 0;
+    }
+  }
+  // The storm must have actually hit transactional cells, or this test
+  // proved nothing beyond the no-fault leg above.
+  EXPECT_GT(StormyCells, 0u);
+}
+
+// --- Fusion determinism --------------------------------------------------===//
+
+// The same loop body under two different names. Fusion decisions (and the
+// compiled-loop cache key) must be pure functions of the static opcode
+// sequence; a name leaking into either would let two sweeps sharing a
+// cache observe different fused programs for the same structure.
+const char *FusionLoopA = R"(
+loop fusion_probe_alpha(i64 n trip, i32 acc liveout, i32 t,
+                        i32 idxs[] readonly, i32 vals[] readonly,
+                        i32 tbl[]) {
+  t = vals[i] * 3;
+  if (t > 10) { acc = acc + t; }
+  tbl[idxs[i]] = tbl[idxs[i]] + 1;
+}
+)";
+
+const char *FusionLoopB = R"(
+loop a_completely_different_name(i64 n trip, i32 acc liveout, i32 t,
+                        i32 idxs[] readonly, i32 vals[] readonly,
+                        i32 tbl[]) {
+  t = vals[i] * 3;
+  if (t > 10) { acc = acc + t; }
+  tbl[idxs[i]] = tbl[idxs[i]] + 1;
+}
+)";
+
+TEST(JitEquivalence, FusionDecisionsIgnoreLoopNames) {
+  ir::ParseResult PA = ir::parseLoop(FusionLoopA);
+  ir::ParseResult PB = ir::parseLoop(FusionLoopB);
+  ASSERT_TRUE(PA) << PA.Error;
+  ASSERT_TRUE(PB) << PB.Error;
+
+  // Structurally identical loops share one compiled-loop cache key (this
+  // is what makes name-independent fusion mandatory, not just tidy).
+  EXPECT_EQ(core::CompileCache::keyFor(*PA.F, codegen::DefaultRtmTile),
+            core::CompileCache::keyFor(*PB.F, codegen::DefaultRtmTile));
+
+  core::PipelineResult RA = core::compileLoop(*PA.F);
+  core::PipelineResult RB = core::compileLoop(*PB.F);
+
+  Rng RngA(42), RngB(42);
+  mem::Memory ImgA, ImgB;
+  ir::Bindings BA = ir::Bindings::forFunction(*PA.F);
+  ir::Bindings BB = ir::Bindings::forFunction(*PB.F);
+  gen::buildConventionInputs(*PA.F, RngA, gen::InputPlan(), ImgA, BA);
+  gen::buildConventionInputs(*PB.F, RngB, gen::InputPlan(), ImgB, BB);
+
+  uint64_t SitesSeen = 0;
+  for (unsigned V = 0; V < core::NumVariants; ++V) {
+    const codegen::CompiledLoop *CA =
+        core::selectVariant(RA, static_cast<core::VariantId>(V));
+    const codegen::CompiledLoop *CB =
+        core::selectVariant(RB, static_cast<core::VariantId>(V));
+    ASSERT_EQ(CA == nullptr, CB == nullptr) << "variant " << V;
+    if (!CA)
+      continue;
+    emu::FusionReport FA, FB;
+    core::RunOutcome OA = runWithDispatch(*PA.F, *CA, ImgA, {BA},
+                                          emu::DispatchMode::Threaded,
+                                          nullptr, &FA);
+    core::RunOutcome OB = runWithDispatch(*PB.F, *CB, ImgB, {BB},
+                                          emu::DispatchMode::Threaded,
+                                          nullptr, &FB);
+    ASSERT_TRUE(OA.Ok) << OA.Error;
+    ASSERT_TRUE(OB.Ok) << OB.Error;
+    EXPECT_TRUE(FA.Pairs == FB.Pairs) << "variant " << V
+        << ": pair histogram keyed on something name-dependent";
+    ASSERT_EQ(FA.Sites.size(), FB.Sites.size()) << "variant " << V;
+    for (size_t I = 0; I < FA.Sites.size(); ++I)
+      EXPECT_TRUE(FA.Sites[I] == FB.Sites[I])
+          << "variant " << V << " site " << I;
+    SitesSeen += FA.Sites.size();
+    // Identical structure + identical inputs: identical architectural
+    // outcomes through the fused programs.
+    EXPECT_EQ(OA.MemFingerprint, OB.MemFingerprint) << "variant " << V;
+    expectStatsEqual(OA.Exec.Stats, OB.Exec.Stats,
+                     std::string("variant ") + std::to_string(V));
+  }
+  EXPECT_GT(SitesSeen, 0u) << "the probe loop must actually fuse";
+}
+
+// Fusion is an optimization of sinkless runs only: with a trace sink
+// attached the per-instruction stream must be produced anyway, so the
+// pass stays out and the report is empty.
+TEST(JitEquivalence, FusionStaysOffWhenTracing) {
+  ir::ParseResult PA = ir::parseLoop(FusionLoopA);
+  ASSERT_TRUE(PA) << PA.Error;
+  core::PipelineResult PR = core::compileLoop(*PA.F);
+  Rng R(42);
+  mem::Memory Img;
+  ir::Bindings B = ir::Bindings::forFunction(*PA.F);
+  gen::buildConventionInputs(*PA.F, R, gen::InputPlan(), Img, B);
+
+  emu::FusionReport Sinkless, Traced;
+  DigestSink Sink;
+  runWithDispatch(*PA.F, PR.Scalar, Img, {B}, emu::DispatchMode::Threaded,
+                  nullptr, &Sinkless);
+  runWithDispatch(*PA.F, PR.Scalar, Img, {B}, emu::DispatchMode::Threaded,
+                  &Sink, &Traced);
+  EXPECT_GT(Sinkless.Sites.size(), 0u);
+  EXPECT_TRUE(Traced.Sites.empty())
+      << "tracing runs must not engage the superinstruction pass";
+}
+
+} // namespace

@@ -16,6 +16,13 @@
 //                     conflict-abort storm (prob 0.5); also settable via
 //                     the FLEXVEC_FAULT_SEED environment variable (the
 //                     flag wins). 0 = off (default)
+//     --sim-mode=M    timing-model fidelity: "full" (every retired
+//                     instruction through the OOO model; the default) or
+//                     "sampled" (deterministic interval sampling with
+//                     extrapolation; emits the v2-sampled schema)
+//     --sample-interval=N / --sample-detail=N / --sample-warmup=N /
+//     --sample-seed=N sampling regimen (defaults 25000/10000/3000/1);
+//                     only meaningful with --sim-mode=sampled
 //     --deterministic omit wall-time fields from the JSON (byte-stable
 //                     across worker counts and machines)
 //     --quiet         suppress the human-readable table
@@ -46,8 +53,10 @@ struct BenchOptions {
 void usage(std::FILE *To) {
   std::fprintf(To,
                "usage: flexvec-bench [--jobs=N] [--seed=N] [--scale=X] "
-               "[--trips=N] [--out=PATH] [--fault-seed=N] [--deterministic] "
-               "[--quiet]\n");
+               "[--trips=N] [--out=PATH] [--fault-seed=N] "
+               "[--sim-mode=full|sampled] [--sample-interval=N] "
+               "[--sample-detail=N] [--sample-warmup=N] [--sample-seed=N] "
+               "[--deterministic] [--quiet]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
@@ -98,6 +107,45 @@ bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
         return false;
       }
       Opts.Sweep.FaultSeed = U;
+    } else if (Arg.rfind("--sim-mode=", 0) == 0) {
+      std::string Mode = Arg.substr(11);
+      if (Mode == "full") {
+        Opts.Sweep.Sim = core::SimMode::Full;
+      } else if (Mode == "sampled") {
+        Opts.Sweep.Sim = core::SimMode::Sampled;
+      } else {
+        std::fprintf(stderr, "error: --sim-mode expects 'full' or "
+                             "'sampled', got '%s'\n", Mode.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--sample-interval=", 0) == 0) {
+      if (!parseUInt(Arg.substr(18), U) || U == 0) {
+        std::fprintf(stderr, "error: --sample-interval expects a positive "
+                             "integer, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Sample.IntervalInstrs = U;
+    } else if (Arg.rfind("--sample-detail=", 0) == 0) {
+      if (!parseUInt(Arg.substr(16), U) || U == 0) {
+        std::fprintf(stderr, "error: --sample-detail expects a positive "
+                             "integer, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Sample.DetailInstrs = U;
+    } else if (Arg.rfind("--sample-warmup=", 0) == 0) {
+      if (!parseUInt(Arg.substr(16), U)) {
+        std::fprintf(stderr, "error: --sample-warmup expects a non-negative "
+                             "integer, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Sample.WarmupInstrs = U;
+    } else if (Arg.rfind("--sample-seed=", 0) == 0) {
+      if (!parseUInt(Arg.substr(14), U)) {
+        std::fprintf(stderr, "error: --sample-seed expects a non-negative "
+                             "integer, got '%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Sample.Seed = U;
     } else if (Arg.rfind("--out=", 0) == 0) {
       Opts.OutPath = Arg.substr(6);
       if (Opts.OutPath.empty()) {

@@ -1,0 +1,245 @@
+//===- tools/flexvec-perftrend.cpp - Wall-clock trend comparator ----------===//
+//
+// Compares the schedule-dependent run section of flexvec-bench JSON
+// payloads (wall_seconds, cells_per_sec, emu_instrs_per_sec) against the
+// checked-in throughput budgets in bench/PERF_budget.json and prints a
+// trend table. This is deliberately separate from flexvec-benchdiff: the
+// benchdiff gate compares deterministic cycle counts and fails hard,
+// while wall-clock on shared CI runners is noisy — so this tool backs a
+// *non-gating* CI step whose artifact gives a per-commit wall-clock
+// record, and only flags a breach when a gauge blows through the budget
+// times its slack factor.
+//
+//   flexvec-perftrend [--budget=PATH] bench1.json [bench2.json ...]
+//
+// Each payload is matched to a budget profile by its (scale, jobs)
+// configuration; payloads without a matching profile are reported and
+// skipped. A payload produced with --deterministic has no run section and
+// is a usage error — this tool exists precisely for the wall-clock runs.
+//
+// Exit codes: 0 within budget, 1 budget breached, 2 unusable input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace flexvec;
+
+namespace {
+
+struct Gauge {
+  std::string Name;
+  bool IsMax = true; ///< true: fail above Budget*Slack; false: below /Slack.
+  double Budget = 0;
+};
+
+struct Profile {
+  std::string Name;
+  double Scale = 0;
+  uint64_t Jobs = 0;
+  double Slack = 1.0;
+  std::vector<Gauge> Gauges;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(To, "usage: flexvec-perftrend [--budget=PATH] bench1.json "
+                   "[bench2.json ...]\n");
+}
+
+bool loadJson(const std::string &Path, Json &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  if (!Json::parse(Buf.str(), Out, Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool loadBudget(const std::string &Path, std::vector<Profile> &Profiles) {
+  Json B;
+  if (!loadJson(Path, B))
+    return false;
+  const Json *Schema = B.find("schema");
+  if (!Schema || Schema->asString() != "flexvec-perf-budget/v1") {
+    std::fprintf(stderr, "error: %s: not a flexvec-perf-budget/v1 document\n",
+                 Path.c_str());
+    return false;
+  }
+  const Json *Ps = B.find("profiles");
+  if (!Ps || !Ps->isArray() || Ps->size() == 0) {
+    std::fprintf(stderr, "error: %s: no profiles\n", Path.c_str());
+    return false;
+  }
+  for (const Json &P : Ps->elems()) {
+    Profile Out;
+    const Json *Name = P.find("name");
+    const Json *Match = P.find("match");
+    const Json *Slack = P.find("slack");
+    const Json *Gs = P.find("gauges");
+    if (!Name || !Match || !Gs || !Gs->isObject()) {
+      std::fprintf(stderr, "error: %s: profile missing name/match/gauges\n",
+                   Path.c_str());
+      return false;
+    }
+    Out.Name = Name->asString();
+    const Json *Scale = Match->find("scale");
+    const Json *Jobs = Match->find("jobs");
+    if (!Scale || !Jobs) {
+      std::fprintf(stderr, "error: %s: profile '%s' match needs scale+jobs\n",
+                   Path.c_str(), Out.Name.c_str());
+      return false;
+    }
+    Out.Scale = Scale->asDouble();
+    Out.Jobs = Jobs->asUInt();
+    Out.Slack = Slack ? Slack->asDouble() : 1.0;
+    if (!(Out.Slack >= 1.0)) {
+      std::fprintf(stderr, "error: %s: profile '%s' slack must be >= 1\n",
+                   Path.c_str(), Out.Name.c_str());
+      return false;
+    }
+    for (const auto &M : Gs->members()) {
+      Gauge G;
+      G.Name = M.first;
+      const Json *Kind = M.second.find("kind");
+      const Json *Budget = M.second.find("budget");
+      if (!Kind || !Budget ||
+          (Kind->asString() != "max" && Kind->asString() != "min")) {
+        std::fprintf(stderr,
+                     "error: %s: gauge '%s' needs kind max|min and budget\n",
+                     Path.c_str(), G.Name.c_str());
+        return false;
+      }
+      G.IsMax = Kind->asString() == "max";
+      G.Budget = Budget->asDouble();
+      Out.Gauges.push_back(G);
+    }
+    Profiles.push_back(Out);
+  }
+  return true;
+}
+
+std::string fmtValue(double V) {
+  char Buf[64];
+  if (V >= 10000)
+    std::snprintf(Buf, sizeof(Buf), "%.3g", V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string BudgetPath = "bench/PERF_budget.json";
+  std::vector<std::string> Inputs;
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    if (Arg.rfind("--budget=", 0) == 0) {
+      BudgetPath = Arg.substr(9);
+      if (BudgetPath.empty()) {
+        std::fprintf(stderr, "error: --budget expects a path\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "error: expected at least one bench JSON\n");
+    usage(stderr);
+    return 2;
+  }
+
+  std::vector<Profile> Profiles;
+  if (!loadBudget(BudgetPath, Profiles))
+    return 2;
+
+  TextTable T({"payload", "profile", "gauge", "value", "budget", "headroom",
+               "verdict"});
+  int Breaches = 0;
+  bool Unusable = false;
+  for (const std::string &Path : Inputs) {
+    Json D;
+    if (!loadJson(Path, D)) {
+      Unusable = true;
+      continue;
+    }
+    const Json *Run = D.find("run");
+    const Json *Scale = D.find("scale");
+    if (!Run || !Run->isObject() || !Scale) {
+      std::fprintf(stderr,
+                   "error: %s: no run section (was it produced with "
+                   "--deterministic?)\n",
+                   Path.c_str());
+      Unusable = true;
+      continue;
+    }
+    const Json *Jobs = Run->find("jobs");
+    const Profile *P = nullptr;
+    for (const Profile &Cand : Profiles) {
+      if (Jobs && Jobs->asUInt() == Cand.Jobs &&
+          std::fabs(Scale->asDouble() - Cand.Scale) < 1e-9) {
+        P = &Cand;
+        break;
+      }
+    }
+    if (!P) {
+      std::fprintf(stderr,
+                   "note: %s: no budget profile matches scale=%g jobs=%llu "
+                   "— skipped\n",
+                   Path.c_str(), Scale->asDouble(),
+                   Jobs ? static_cast<unsigned long long>(Jobs->asUInt())
+                        : 0ULL);
+      continue;
+    }
+    for (const Gauge &G : P->Gauges) {
+      const Json *V = Run->find(G.Name);
+      if (!V || !V->isNumber()) {
+        std::fprintf(stderr, "error: %s: run.%s missing\n", Path.c_str(),
+                     G.Name.c_str());
+        Unusable = true;
+        continue;
+      }
+      double Value = V->asDouble();
+      // The effective limit folds the profile's slack in; headroom is the
+      // distance to that limit in the gauge's failing direction.
+      double Limit = G.IsMax ? G.Budget * P->Slack : G.Budget / P->Slack;
+      bool Over = G.IsMax ? Value > Limit : Value < Limit;
+      double Headroom =
+          G.IsMax ? (Limit - Value) / Limit : (Value - Limit) / Limit;
+      Breaches += Over;
+      T.addRow({Path, P->Name, G.Name, fmtValue(Value),
+                (G.IsMax ? "<= " : ">= ") + fmtValue(Limit),
+                fmtValue(Headroom * 100) + "%", Over ? "OVER" : "ok"});
+    }
+  }
+  T.print();
+  if (Unusable)
+    return 2;
+  if (Breaches) {
+    std::fprintf(stderr, "perftrend: %d gauge(s) past budget\n", Breaches);
+    return 1;
+  }
+  std::printf("perftrend: all gauges within budget\n");
+  return 0;
+}
