@@ -10,9 +10,13 @@
 
 #include "core/Measure.h"
 #include "core/Pipeline.h"
+#include "emu/simd/Kernels.h"
+#include "isa/Program.h"
 #include "workloads/PaperLoops.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 using namespace flexvec;
 using namespace flexvec::workloads;
@@ -268,6 +272,287 @@ void BM_TraceDeliveryNoSink(benchmark::State &State) {
   State.counters["instrs/s"] = benchmark::Counter(
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
+
+//===----------------------------------------------------------------------===//
+// Layer 4, SIMD lane kernels (emu/simd). Two levels of attribution:
+//
+//  - BM_LaneKernel/*: one kernel call in isolation — the per-opcode
+//    throughput of each backend's table entry, full-mask vs half-mask.
+//    This is where a backend regression shows up without any dispatch
+//    noise on top.
+//  - BM_VectorCode/*: a sinkless emulator run over synthetic vector-only
+//    programs with RunLimits::Simd pinned per backend — the instr/s the
+//    kernels buy once dispatch, retire and (for the memory variants) the
+//    TLB fast paths are back in the loop. ALU (register-only), masked
+//    ALU, unit-stride load/store and gather/scatter variants separate
+//    the kernel win from the memory-path win.
+//
+// Backends that the host cannot execute (or the compiler could not
+// build) are not registered, so the suite is runnable anywhere.
+//===----------------------------------------------------------------------===//
+
+struct KernelBackend {
+  const char *Name;
+  emu::SimdBackend Backend;
+  const emu::simd::KernelTable *Table;
+};
+
+std::vector<KernelBackend> kernelBackends() {
+  std::vector<KernelBackend> Rows{
+      {"scalar", emu::SimdBackend::Scalar, &emu::simd::scalarKernels()}};
+  if (emu::simd::hostHasAvx2() && emu::simd::avx2Compiled())
+    Rows.push_back(
+        {"avx2", emu::SimdBackend::Avx2, &emu::simd::avx2Kernels()});
+  if (emu::simd::hostHasAvx512() && emu::simd::avx512Compiled())
+    Rows.push_back(
+        {"avx512", emu::SimdBackend::Avx512, &emu::simd::avx512Kernels()});
+  return Rows;
+}
+
+/// Deterministic operand bytes; nonzero everywhere so VFDiv stays finite.
+struct KernelOperands {
+  alignas(64) uint8_t A[64];
+  alignas(64) uint8_t B[64];
+  alignas(64) uint8_t D[64];
+  KernelOperands() {
+    for (unsigned I = 0; I < 64; ++I) {
+      A[I] = static_cast<uint8_t>(I * 7 + 3);
+      B[I] = static_cast<uint8_t>(I * 13 + 5);
+      D[I] = 0;
+    }
+    // Overwrite with well-formed lane payloads for the FP benchmarks;
+    // integer kernels are total, so any bytes are valid for them.
+    for (unsigned L = 0; L < 16; ++L) {
+      float Fa = 1.5f + static_cast<float>(L);
+      float Fb = 0.75f + static_cast<float>(L) * 0.5f;
+      std::memcpy(A + L * 4, &Fa, 4);
+      std::memcpy(B + L * 4, &Fb, 4);
+    }
+  }
+};
+
+void runBinKernel(benchmark::State &State, emu::simd::VecBinFn Fn,
+                  uint64_t Mask) {
+  KernelOperands Ops;
+  for (auto _ : State) {
+    Fn(Ops.D, Ops.A, Ops.B, Mask);
+    benchmark::DoNotOptimize(Ops.D[0]);
+    benchmark::ClobberMemory();
+  }
+  State.counters["kernels/s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()), benchmark::Counter::kIsRate);
+}
+
+void runCmpKernel(benchmark::State &State, emu::simd::VecCmpFn Fn,
+                  uint64_t Mask) {
+  KernelOperands Ops;
+  uint64_t Acc = 0;
+  for (auto _ : State) {
+    Acc ^= Fn(Ops.A, Ops.B, Mask);
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.counters["kernels/s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()), benchmark::Counter::kIsRate);
+}
+
+void runConflictKernel(benchmark::State &State, emu::simd::VecConflictFn Fn,
+                       uint64_t Enable) {
+  KernelOperands Ops;
+  uint64_t Acc = 0;
+  for (auto _ : State) {
+    Acc ^= Fn(Ops.A, Ops.B, Enable);
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.counters["kernels/s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()), benchmark::Counter::kIsRate);
+}
+
+void runGatherAddrKernel(benchmark::State &State, emu::simd::GatherAddrFn Fn) {
+  KernelOperands Ops;
+  uint64_t Addrs[16];
+  for (auto _ : State) {
+    Fn(Addrs, Ops.A, /*Base=*/0x10000, /*Disp=*/8, /*Scale=*/4);
+    benchmark::DoNotOptimize(Addrs[0]);
+    benchmark::ClobberMemory();
+  }
+  State.counters["kernels/s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()), benchmark::Counter::kIsRate);
+}
+
+/// Straight-line vector ALU block repeated by a scalar loop; sinkless, so
+/// the measurement is dispatch + lane kernels and nothing else. When
+/// \p Masked, every op runs under an alternating-lanes write mask.
+isa::Program buildVectorAluProgram(bool Masked) {
+  using namespace isa;
+  ProgramBuilder B;
+  const Reg Mask = Masked ? Reg::mask(1) : Reg::none();
+  if (Masked)
+    B.kset(Reg::mask(1), 0x5555);
+  B.movImm(Reg::scalar(1), 1);
+  B.movImm(Reg::scalar(2), 7);
+  B.vindex(Reg::vector(1), ElemType::I32, Reg::scalar(1));
+  B.vbroadcast(Reg::vector(2), ElemType::I32, Reg::scalar(2));
+  B.fmovImm(Reg::scalar(3), ElemType::F32, 1.25);
+  B.vbroadcast(Reg::vector(3), ElemType::F32, Reg::scalar(3));
+  B.vbroadcastImm(Reg::vector(4), ElemType::F32, 3);
+  B.movImm(Reg::scalar(4), 0); // loop counter
+  auto Head = B.createLabel();
+  auto Exit = B.createLabel();
+  B.bind(Head);
+  B.cmpImm(Reg::scalar(5), CmpKind::LT, Reg::scalar(4), 4096);
+  B.brZero(Reg::scalar(5), Exit);
+  // 16 vector ALU ops per trip: the int and fp families the kernel layer
+  // serves, on both element widths.
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    B.vbinOp(Opcode::VAdd, ElemType::I32, Reg::vector(5), Reg::vector(1),
+             Reg::vector(2), Mask);
+    B.vbinOp(Opcode::VMul, ElemType::I32, Reg::vector(6), Reg::vector(5),
+             Reg::vector(2), Mask);
+    B.vbinOp(Opcode::VXor, ElemType::I32, Reg::vector(5), Reg::vector(6),
+             Reg::vector(1), Mask);
+    B.vbinOp(Opcode::VMax, ElemType::I32, Reg::vector(6), Reg::vector(5),
+             Reg::vector(2), Mask);
+    B.vbinOpImm(Opcode::VAddImm, ElemType::I32, Reg::vector(5), Reg::vector(6),
+                11, Mask);
+    B.vbinOp(Opcode::VFAdd, ElemType::F32, Reg::vector(7), Reg::vector(3),
+             Reg::vector(4), Mask);
+    B.vbinOp(Opcode::VFMul, ElemType::F32, Reg::vector(8), Reg::vector(7),
+             Reg::vector(3), Mask);
+    B.vbinOp(Opcode::VFMax, ElemType::F32, Reg::vector(7), Reg::vector(8),
+             Reg::vector(4), Mask);
+  }
+  B.binOpImm(Opcode::AddImm, Reg::scalar(4), Reg::scalar(4), 1);
+  B.jmp(Head);
+  B.bind(Exit);
+  B.halt();
+  return B.finalize();
+}
+
+/// Unit-stride VLoad/VStore sweep over a mapped buffer: full write mask,
+/// no transaction, resident pages — every access takes the block-copy
+/// fast path. The gathered variant drives the same traffic through
+/// VGather/VScatter with an index vector (batched address translation).
+isa::Program buildVectorMemProgram(bool Gathered) {
+  using namespace isa;
+  ProgramBuilder B;
+  const uint64_t Base = 0x10000;
+  B.movImm(Reg::scalar(1), static_cast<int64_t>(Base));
+  B.movImm(Reg::scalar(2), static_cast<int64_t>(Base) + 8192);
+  B.movImm(Reg::scalar(6), 0);
+  B.vindex(Reg::vector(1), ElemType::I32, Reg::scalar(6)); // 0..15
+  B.movImm(Reg::scalar(4), 0); // loop counter
+  B.movImm(Reg::scalar(5), 0); // byte offset, wraps inside the buffer
+  auto Head = B.createLabel();
+  auto Exit = B.createLabel();
+  B.bind(Head);
+  B.cmpImm(Reg::scalar(3), CmpKind::LT, Reg::scalar(4), 4096);
+  B.brZero(Reg::scalar(3), Exit);
+  if (Gathered) {
+    B.vgather(Reg::vector(2), ElemType::I32, Reg::none(), Reg::scalar(5),
+              Reg::vector(1), 4, static_cast<int64_t>(Base));
+    B.vscatter(ElemType::I32, Reg::none(), Reg::scalar(5), Reg::vector(1), 4,
+               static_cast<int64_t>(Base) + 8192, Reg::vector(2));
+  } else {
+    B.vload(Reg::vector(2), ElemType::I32, Reg::none(), Reg::scalar(1),
+            Reg::scalar(5), 1, 0);
+    B.vstore(ElemType::I32, Reg::none(), Reg::scalar(2), Reg::scalar(5), 1, 0,
+             Reg::vector(2));
+  }
+  B.binOpImm(Opcode::AddImm, Reg::scalar(5), Reg::scalar(5), 64);
+  B.binOpImm(Opcode::AndImm, Reg::scalar(5), Reg::scalar(5), 4095);
+  B.binOpImm(Opcode::AddImm, Reg::scalar(4), Reg::scalar(4), 1);
+  B.jmp(Head);
+  B.bind(Exit);
+  B.halt();
+  return B.finalize();
+}
+
+void runVectorCode(benchmark::State &State, const isa::Program &P,
+                   emu::SimdBackend Backend, bool MapMemory) {
+  mem::Memory M;
+  if (MapMemory)
+    M.map(0x10000, 16384);
+  emu::Machine Mach(M);
+  emu::RunLimits Limits;
+  Limits.Simd = Backend;
+  uint64_t Instrs = 0, VecOps = 0;
+  for (auto _ : State) {
+    emu::ExecResult R = Mach.run(P, Limits);
+    if (R.Reason != emu::StopReason::Halted)
+      State.SkipWithError("vector-code program did not halt");
+    Instrs += R.Stats.Instructions;
+    VecOps += R.Stats.VectorOps;
+    benchmark::DoNotOptimize(R.Stats.Instructions);
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+  State.counters["vecops/s"] = benchmark::Counter(
+      static_cast<double>(VecOps), benchmark::Counter::kIsRate);
+}
+
+int registerSimdBenches() {
+  using benchmark::RegisterBenchmark;
+  static constexpr uint64_t Full32 = 0xffff, Half32 = 0x5555;
+  static constexpr uint64_t Full64 = 0xff;
+  for (const KernelBackend &KB : kernelBackends()) {
+    const emu::simd::KernelTable &T = *KB.Table;
+    std::string P = std::string("BM_LaneKernel/") + KB.Name + "/";
+    auto AddBin = [&](const char *Op, emu::simd::VecBinFn Fn, uint64_t Mask,
+                      const char *MaskName) {
+      RegisterBenchmark((P + Op + "/" + MaskName).c_str(),
+                        [Fn, Mask](benchmark::State &S) {
+                          runBinKernel(S, Fn, Mask);
+                        });
+    };
+    AddBin("VAdd.i32", T.IntBin[0][0], Full32, "full");
+    AddBin("VAdd.i32", T.IntBin[0][0], Half32, "half");
+    AddBin("VMul.i32", T.IntBin[2][0], Full32, "full");
+    AddBin("VMin.i64", T.IntBin[6][1], Full64, "full");
+    AddBin("VFAdd.f32", T.FpBin[0][0], Full32, "full");
+    AddBin("VFAdd.f32", T.FpBin[0][0], Half32, "half");
+    AddBin("VFDiv.f64", T.FpBin[3][1], Full64, "full");
+    AddBin("VFMin.f32", T.FpBin[4][0], Full32, "full");
+    RegisterBenchmark((P + "VCmpLT.i32/full").c_str(),
+                      [Fn = T.CmpInt[2][0]](benchmark::State &S) {
+                        runCmpKernel(S, Fn, Full32);
+                      });
+    RegisterBenchmark((P + "VCmpLT.f32/full").c_str(),
+                      [Fn = T.CmpFp[2][0]](benchmark::State &S) {
+                        runCmpKernel(S, Fn, Full32);
+                      });
+    RegisterBenchmark((P + "VConflictM.i32/full").c_str(),
+                      [Fn = T.Conflict[0]](benchmark::State &S) {
+                        runConflictKernel(S, Fn, Full32);
+                      });
+    RegisterBenchmark((P + "GatherAddr.i32").c_str(),
+                      [Fn = T.GatherAddr[0]](benchmark::State &S) {
+                        runGatherAddrKernel(S, Fn);
+                      });
+
+    // Emulator-level vector-code throughput with this backend pinned.
+    static const isa::Program AluP = buildVectorAluProgram(false);
+    static const isa::Program AluMaskedP = buildVectorAluProgram(true);
+    static const isa::Program UnitP = buildVectorMemProgram(false);
+    static const isa::Program GatherP = buildVectorMemProgram(true);
+    std::string V = std::string("BM_VectorCode/") + KB.Name + "/";
+    auto AddProg = [&](const char *Kind, const isa::Program &Prog,
+                       bool MapMemory) {
+      RegisterBenchmark((V + Kind).c_str(),
+                        [&Prog, B = KB.Backend,
+                         MapMemory](benchmark::State &S) {
+                          runVectorCode(S, Prog, B, MapMemory);
+                        })
+          ->Unit(benchmark::kMicrosecond);
+    };
+    AddProg("alu", AluP, false);
+    AddProg("alu.masked", AluMaskedP, false);
+    AddProg("mem.unit_stride", UnitP, true);
+    AddProg("mem.gather", GatherP, true);
+  }
+  return 0;
+}
+
+const int SimdBenchesRegistered = registerSimdBenches();
 
 BENCHMARK(BM_EmulatorScalar)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EmulatorFlexVec)->Unit(benchmark::kMillisecond);

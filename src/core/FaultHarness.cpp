@@ -59,6 +59,7 @@ FaultedRun core::runProgramWithFaults(const codegen::CompiledLoop &CL,
   Limits.MaxInstructions = Plan.MaxInstructions;
   Limits.MaxRtmRetries = Plan.MaxRtmRetries;
   Limits.Dispatch = Plan.Dispatch;
+  Limits.Simd = Plan.Simd;
   Run.Outcome.Exec = Machine.run(CL.Prog, Limits);
   Run.Outcome.Ok = Run.Outcome.Exec.Reason == emu::StopReason::Halted;
   if (!Run.Outcome.Ok)
@@ -93,6 +94,7 @@ FaultedRun core::runProgramMultiWithFaults(
   Limits.MaxInstructions = Plan.MaxInstructions;
   Limits.MaxRtmRetries = Plan.MaxRtmRetries;
   Limits.Dispatch = Plan.Dispatch;
+  Limits.Simd = Plan.Simd;
   for (const ir::Bindings &B : Invocations) {
     Machine.resetRegisters();
     bindMachine(Machine, B);

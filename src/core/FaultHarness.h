@@ -38,6 +38,9 @@ struct FaultPlan {
   /// Dispatch loop the machine runs under (JitEquivalenceTest pins both
   /// modes to prove fault delivery is dispatch-invariant).
   emu::DispatchMode Dispatch = emu::DispatchMode::Auto;
+  /// SIMD lane-kernel backend (SimdEquivalenceTest pins each backend to
+  /// prove fault storms are backend-invariant too).
+  emu::SimdBackend Simd = emu::SimdBackend::Auto;
 };
 
 /// One execution under injection: the usual outcome plus what was

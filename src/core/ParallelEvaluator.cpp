@@ -332,6 +332,11 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
     Json Run = Json::object();
     Run.set("jobs", R.Jobs);
     Run.set("workers", R.Workers);
+    // Host/environment-dependent, so run-section only: which lane-kernel
+    // table the machines actually executed (FLEXVEC_SIMD + CPUID).
+    Run.set("emu.simd.backend",
+            emu::simdBackendName(emu::resolveSimdBackend(
+                emu::SimdBackend::Auto)));
     Run.set("wall_seconds", R.WallSeconds);
     Run.set("single_flight_waits", R.SingleFlightWaits);
     Run.set("peak_in_flight", R.PeakInFlight);

@@ -2,6 +2,7 @@
 
 #include "emu/Machine.h"
 
+#include "emu/simd/Kernels.h"
 #include "obs/Metrics.h"
 #include "support/Bits.h"
 #include "support/Error.h"
@@ -66,6 +67,8 @@ void ExecStats::merge(const ExecStats &O) {
   FFSuppressedLanes += O.FFSuppressedLanes;
   ConflictChecks += O.ConflictChecks;
   ConflictHits += O.ConflictHits;
+  SimdUnitStrideHits += O.SimdUnitStrideHits;
+  SimdMaskShortcircuits += O.SimdMaskShortcircuits;
   for (size_t I = 0; I < MaskDensity.size(); ++I)
     MaskDensity[I] += O.MaskDensity[I];
   for (size_t I = 0; I < RtmRetryDepth.size(); ++I)
@@ -311,12 +314,6 @@ bool isFusableVectorOp(Opcode Op) {
          (Op >= Opcode::VFAdd && Op <= Opcode::VFMax);
 }
 
-/// Element wrap for specialized vector-int bodies; identical to the wrap
-/// lambda inside applyVectorIntOp.
-int64_t fvWrap(bool Is32, int64_t X) {
-  return Is32 ? static_cast<int64_t>(static_cast<int32_t>(X)) : X;
-}
-
 double applyScalarFpOp(Opcode Op, double A, double B) {
   switch (Op) {
   case Opcode::FAdd:
@@ -333,60 +330,6 @@ double applyScalarFpOp(Opcode Op, double A, double B) {
     return std::max(A, B);
   default:
     unreachable("not a scalar fp binary opcode");
-  }
-}
-
-int64_t applyVectorIntOp(Opcode Op, ElemType Ty, int64_t A, int64_t B) {
-  bool Is32 = elemSize(Ty) == 4;
-  auto wrap = [Is32](int64_t X) {
-    return Is32 ? static_cast<int64_t>(static_cast<int32_t>(X)) : X;
-  };
-  switch (Op) {
-  case Opcode::VAdd:
-  case Opcode::VAddImm:
-    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A) +
-                                     static_cast<uint64_t>(B)));
-  case Opcode::VSub:
-    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A) -
-                                     static_cast<uint64_t>(B)));
-  case Opcode::VMul:
-  case Opcode::VMulImm:
-    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A) *
-                                     static_cast<uint64_t>(B)));
-  case Opcode::VAnd:
-    return A & B;
-  case Opcode::VOr:
-    return A | B;
-  case Opcode::VXor:
-    return A ^ B;
-  case Opcode::VMin:
-    return std::min(A, B);
-  case Opcode::VMax:
-    return std::max(A, B);
-  case Opcode::VShlImm:
-    return wrap(static_cast<int64_t>(static_cast<uint64_t>(A)
-                                     << (static_cast<uint64_t>(B) & 63)));
-  default:
-    unreachable("not a vector integer binary opcode");
-  }
-}
-
-double applyVectorFpOp(Opcode Op, double A, double B) {
-  switch (Op) {
-  case Opcode::VFAdd:
-    return A + B;
-  case Opcode::VFSub:
-    return A - B;
-  case Opcode::VFMul:
-    return A * B;
-  case Opcode::VFDiv:
-    return A / B;
-  case Opcode::VFMin:
-    return std::min(A, B);
-  case Opcode::VFMax:
-    return std::max(A, B);
-  default:
-    unreachable("not a vector fp binary opcode");
   }
 }
 
@@ -494,6 +437,11 @@ ExecResult Machine::run(const Program &P, RunLimits Limits, TraceSink *Sink) {
   if (Mode == DispatchMode::Auto)
     Mode = defaultDispatchMode();
 
+  // Bind the lane-kernel table for this run. Resolution clamps to what
+  // the build and host support, so every dispatch loop below can index
+  // the table unconditionally.
+  SimdKern = &simd::kernelsFor(Limits.Simd);
+
   if (Mode == DispatchMode::Threaded) {
     // Superinstructions batch dispatch only; component instructions still
     // retire statistics individually. A sink needs every component staged
@@ -544,6 +492,9 @@ void emu::recordMetrics(const ExecStats &S, obs::Registry &R) {
   R.counter("emu.ff.suppressed_lanes").inc(S.FFSuppressedLanes);
   R.counter("emu.conflict.checks").inc(S.ConflictChecks);
   R.counter("emu.conflict.hits").inc(S.ConflictHits);
+  R.counter("emu.simd.fastpath.unit_stride_hits").inc(S.SimdUnitStrideHits);
+  R.counter("emu.simd.fastpath.mask_shortcircuits")
+      .inc(S.SimdMaskShortcircuits);
   R.counter("emu.rtm.retries").inc(S.RtmRetries);
   R.counter("emu.rtm.fallbacks").inc(S.RtmFallbacks);
   R.counter("emu.rtm.budget_exhausted").inc(S.RtmBudgetExhausted);

@@ -30,6 +30,9 @@ namespace obs {
 class Registry;
 }
 namespace emu {
+namespace simd {
+struct KernelTable;
+}
 
 /// One 512-bit vector register with typed lane accessors.
 struct VecReg {
@@ -121,6 +124,14 @@ struct ExecStats {
   uint64_t ConflictChecks = 0;
   uint64_t ConflictHits = 0;
 
+  // Vector-memory fast paths (src/emu/simd): unit-stride full-mask
+  // loads/stores that collapsed to one block copy, and vector ops skipped
+  // outright because their write mask was all-zeros. Both are decided by
+  // (program, inputs, memory layout) only — never by the host backend —
+  // so they are deterministic-payload safe.
+  uint64_t SimdUnitStrideHits = 0;
+  uint64_t SimdMaskShortcircuits = 0;
+
   /// Write-mask density of vector ops: bucket N counts vector instructions
   /// that executed with exactly N active lanes (0..16 for 512-bit / 32-bit
   /// elements). The paper's partial-vector efficiency argument is read
@@ -185,6 +196,41 @@ enum class DispatchMode : uint8_t {
 /// The process-default dispatch mode (resolves DispatchMode::Auto).
 DispatchMode defaultDispatchMode();
 
+/// Host-SIMD lane-kernel backend for the hot vector handler bodies
+/// (src/emu/simd). Every backend is observably identical to Scalar —
+/// ExecStats field for field, trace streams, memory effects, deterministic
+/// payloads (SimdEquivalenceTest holds the contract) — so, like
+/// DispatchMode, the choice is purely a speed knob.
+enum class SimdBackend : uint8_t {
+  /// Resolve via the FLEXVEC_SIMD environment variable
+  /// ("scalar" | "avx2" | "avx512" | "native"); Native when unset.
+  Auto,
+  /// Reference lane loops (always available).
+  Scalar,
+  /// AVX2 kernel table (2x256-bit), if compiled in and supported.
+  Avx2,
+  /// AVX-512 kernel table (1x512-bit), if compiled in and supported.
+  Avx512,
+  /// Best table the host CPU supports.
+  Native,
+};
+
+/// The process-default SIMD backend (resolves SimdBackend::Auto).
+SimdBackend defaultSimdBackend();
+
+/// Lower-case name ("scalar", "avx2", ...) for logs and metrics.
+const char *simdBackendName(SimdBackend B);
+
+/// Clamps a request to what this build and host can actually execute;
+/// the result is always one of Scalar/Avx2/Avx512. Unsupported requests
+/// degrade (Avx512 -> Avx2 -> Scalar) rather than fail.
+SimdBackend resolveSimdBackend(SimdBackend Requested);
+
+namespace simd {
+/// The kernel table implementing \p B (resolved first); emu/simd/Kernels.h.
+const KernelTable &kernelsFor(SimdBackend B);
+} // namespace simd
+
 /// Superinstructions: dominant static pairs/triples the peephole fusion
 /// pass collapses into one dispatch (docs/PERFORMANCE.md). Component
 /// semantics, statistics, and fault behaviour are preserved exactly —
@@ -238,6 +284,8 @@ struct RunLimits {
   unsigned MaxRtmBackoffShift = 16;
   /// Interpreter dispatch strategy; Auto defers to FLEXVEC_DISPATCH.
   DispatchMode Dispatch = DispatchMode::Auto;
+  /// Lane-kernel backend; Auto defers to FLEXVEC_SIMD.
+  SimdBackend Simd = SimdBackend::Auto;
 };
 
 /// The architectural machine.
@@ -359,6 +407,10 @@ private:
   // Fault bookkeeping for the current step.
   bool Faulted = false;
   uint64_t FaultAddr = 0;
+
+  /// Lane-kernel table for the current run(), bound from the resolved
+  /// RunLimits::Simd before dispatch starts.
+  const simd::KernelTable *SimdKern = nullptr;
 
   // Pre-decoded dispatch plan and trace-batching state, reused across
   // run() calls so the hot loop performs no per-instruction allocation.

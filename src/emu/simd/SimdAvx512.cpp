@@ -1,0 +1,43 @@
+//===- emu/simd/SimdAvx512.cpp - AVX-512 kernel table ---------------------===//
+//
+// Compiles the shared kernel bodies at -mavx512f/bw/dq/vl (set per-file
+// by CMake when the compiler supports it); 64-byte GNU vectors lower to
+// single 512-bit operations matching the guest register width. If the
+// flags are unavailable the table degrades to the scalar reference and
+// avx512Compiled() reports it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "emu/simd/Kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+
+#define FLEXVEC_SIMD_NS avx512impl
+#include "emu/simd/KernelsImpl.inc"
+#undef FLEXVEC_SIMD_NS
+
+namespace flexvec {
+namespace emu {
+namespace simd {
+const KernelTable &avx512Kernels() {
+  static const KernelTable T = avx512impl::buildTable();
+  return T;
+}
+bool avx512Compiled() { return true; }
+} // namespace simd
+} // namespace emu
+} // namespace flexvec
+
+#else // !AVX-512
+
+namespace flexvec {
+namespace emu {
+namespace simd {
+const KernelTable &avx512Kernels() { return scalarKernels(); }
+bool avx512Compiled() { return false; }
+} // namespace simd
+} // namespace emu
+} // namespace flexvec
+
+#endif

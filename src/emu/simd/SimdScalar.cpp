@@ -1,0 +1,399 @@
+//===- emu/simd/SimdScalar.cpp - Reference lane-loop kernel table ---------===//
+//
+// The scalar backend: every kernel is the literal per-lane loop the
+// monolithic Interp.inc handlers executed, written against raw register
+// bytes with the exact VecReg extension/truncation rules (isa/LaneTraits.h)
+// and the exact arithmetic of the retired applyVector{Int,Fp}Op helpers.
+// This table is the semantic anchor the SIMD backends are differentially
+// tested against — it deliberately shares no implementation with
+// KernelsImpl.inc, so a bug in the vector-extension code cannot hide.
+//
+//===----------------------------------------------------------------------===//
+
+#include "emu/simd/Kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace flexvec;
+using namespace flexvec::emu::simd;
+using isa::CmpKind;
+using isa::ElemType;
+
+namespace {
+
+inline bool bit(uint64_t M, unsigned L) { return (M >> L) & 1; }
+
+/// VecReg::laneInt, on raw bytes: I32 sign-extends, F32 zero-extends,
+/// 8-byte types are identity.
+inline int64_t laneGet(ElemType Ty, const uint8_t *P, unsigned L) {
+  switch (Ty) {
+  case ElemType::I32: {
+    int32_t V;
+    std::memcpy(&V, P + L * 4, 4);
+    return V;
+  }
+  case ElemType::F32: {
+    uint32_t V;
+    std::memcpy(&V, P + L * 4, 4);
+    return static_cast<int64_t>(V);
+  }
+  default: {
+    int64_t V;
+    std::memcpy(&V, P + L * 8, 8);
+    return V;
+  }
+  }
+}
+
+/// VecReg::setLaneInt: 4-byte lanes truncate.
+inline void laneSet(ElemType Ty, uint8_t *P, unsigned L, int64_t V) {
+  if (isa::laneBytes(Ty) == 4) {
+    uint32_t W = static_cast<uint32_t>(V);
+    std::memcpy(P + L * 4, &W, 4);
+  } else {
+    std::memcpy(P + L * 8, &V, 8);
+  }
+}
+
+/// VecReg::laneFloat: F32 lanes widen to double.
+inline double laneGetF(ElemType Ty, const uint8_t *P, unsigned L) {
+  if (Ty == ElemType::F32) {
+    float V;
+    std::memcpy(&V, P + L * 4, 4);
+    return V;
+  }
+  double V;
+  std::memcpy(&V, P + L * 8, 8);
+  return V;
+}
+
+/// VecReg::setLaneFloat: F32 lanes narrow from double.
+inline void laneSetF(ElemType Ty, uint8_t *P, unsigned L, double V) {
+  if (Ty == ElemType::F32) {
+    float F = static_cast<float>(V);
+    std::memcpy(P + L * 4, &F, 4);
+  } else {
+    std::memcpy(P + L * 8, &V, 8);
+  }
+}
+
+/// Element wrap of the retired applyVectorIntOp helper.
+inline int64_t wrap(bool Is32, int64_t X) {
+  return Is32 ? static_cast<int64_t>(static_cast<int32_t>(X)) : X;
+}
+
+enum class IOp { Add, Sub, Mul, And, Or, Xor, Min, Max };
+enum class MOp { AddImm, MulImm, ShlImm };
+enum class FOp { Add, Sub, Mul, Div, Min, Max };
+
+template <IOp Op> inline int64_t intOp(bool Is32, int64_t Va, int64_t Vb) {
+  switch (Op) {
+  case IOp::Add:
+    return wrap(Is32, static_cast<int64_t>(static_cast<uint64_t>(Va) +
+                                           static_cast<uint64_t>(Vb)));
+  case IOp::Sub:
+    return wrap(Is32, static_cast<int64_t>(static_cast<uint64_t>(Va) -
+                                           static_cast<uint64_t>(Vb)));
+  case IOp::Mul:
+    return wrap(Is32, static_cast<int64_t>(static_cast<uint64_t>(Va) *
+                                           static_cast<uint64_t>(Vb)));
+  case IOp::And:
+    return Va & Vb;
+  case IOp::Or:
+    return Va | Vb;
+  case IOp::Xor:
+    return Va ^ Vb;
+  case IOp::Min:
+    return std::min(Va, Vb);
+  case IOp::Max:
+    return std::max(Va, Vb);
+  }
+  return 0;
+}
+
+template <FOp Op> inline double fpOp(double Va, double Vb) {
+  switch (Op) {
+  case FOp::Add:
+    return Va + Vb;
+  case FOp::Sub:
+    return Va - Vb;
+  case FOp::Mul:
+    return Va * Vb;
+  case FOp::Div:
+    return Va / Vb;
+  case FOp::Min:
+    return std::min(Va, Vb);
+  case FOp::Max:
+    return std::max(Va, Vb);
+  }
+  return 0;
+}
+
+template <IOp Op, ElemType Ty>
+void intBinRef(uint8_t *Dst, const uint8_t *A, const uint8_t *B,
+               uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  constexpr bool Is32 = isa::laneBytes(Ty) == 4;
+  for (unsigned L = 0; L < Lanes; ++L)
+    if (bit(Mask, L))
+      laneSet(Ty, Dst, L, intOp<Op>(Is32, laneGet(Ty, A, L),
+                                    laneGet(Ty, B, L)));
+}
+
+template <MOp Op, ElemType Ty>
+void intImmRef(uint8_t *Dst, const uint8_t *A, int64_t Imm, uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  constexpr bool Is32 = isa::laneBytes(Ty) == 4;
+  for (unsigned L = 0; L < Lanes; ++L) {
+    if (!bit(Mask, L))
+      continue;
+    const int64_t Va = laneGet(Ty, A, L);
+    int64_t R;
+    if (Op == MOp::AddImm)
+      R = intOp<IOp::Add>(Is32, Va, Imm);
+    else if (Op == MOp::MulImm)
+      R = intOp<IOp::Mul>(Is32, Va, Imm);
+    else
+      R = wrap(Is32, static_cast<int64_t>(static_cast<uint64_t>(Va)
+                                          << (static_cast<uint64_t>(Imm) &
+                                              63)));
+    laneSet(Ty, Dst, L, R);
+  }
+}
+
+/// Raw lane bits, for the paths that must never launder a value through an
+/// FP register or conversion (min/max selection, operand-NaN delivery).
+inline uint64_t laneBits(ElemType Ty, const uint8_t *P, unsigned L) {
+  if (Ty == ElemType::F32) {
+    uint32_t V;
+    std::memcpy(&V, P + L * 4, 4);
+    return V;
+  }
+  uint64_t V;
+  std::memcpy(&V, P + L * 8, 8);
+  return V;
+}
+inline void setLaneBits(ElemType Ty, uint8_t *P, unsigned L, uint64_t V) {
+  if (Ty == ElemType::F32) {
+    const uint32_t W = static_cast<uint32_t>(V);
+    std::memcpy(P + L * 4, &W, 4);
+  } else {
+    std::memcpy(P + L * 8, &V, 8);
+  }
+}
+
+// FP NaN convention, pinned bit-exactly so every backend can match it:
+//  - min/max select one operand's RAW bits on the widened-double compare
+//    (NaN compares false, so the first operand wins); no lane is rounded
+//    or quieted, a signaling-NaN operand passes through untouched.
+//  - add/sub/mul/div with a NaN operand deliver that operand's payload
+//    with the quiet bit forced on, the FIRST operand winning when both
+//    are NaN (x86's src1 rule; hardware applies it to whichever operand
+//    order the compiler emitted, so it is made explicit here instead).
+//  - generated NaNs (inf-inf, 0*inf, 0/0, neither operand NaN) take the
+//    ordinary arithmetic result: the hardware indefinite, identical
+//    computed in float or narrowed from double.
+template <FOp Op, ElemType Ty>
+void fpBinRef(uint8_t *Dst, const uint8_t *A, const uint8_t *B,
+              uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  constexpr bool IsSelect = Op == FOp::Min || Op == FOp::Max;
+  constexpr uint64_t QBit =
+      Ty == ElemType::F32 ? 0x00400000ull : 1ull << 51;
+  for (unsigned L = 0; L < Lanes; ++L) {
+    if (!bit(Mask, L))
+      continue;
+    const double Va = laneGetF(Ty, A, L), Vb = laneGetF(Ty, B, L);
+    if (IsSelect) {
+      const bool TakeB = Op == FOp::Min ? Vb < Va : Va < Vb;
+      setLaneBits(Ty, Dst, L, laneBits(Ty, TakeB ? B : A, L));
+    } else if (Va != Va) {
+      setLaneBits(Ty, Dst, L, laneBits(Ty, A, L) | QBit);
+    } else if (Vb != Vb) {
+      setLaneBits(Ty, Dst, L, laneBits(Ty, B, L) | QBit);
+    } else {
+      laneSetF(Ty, Dst, L, fpOp<Op>(Va, Vb));
+    }
+  }
+}
+
+template <CmpKind C, ElemType Ty>
+uint64_t cmpIntRef(const uint8_t *A, const uint8_t *B, uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  uint64_t Out = 0;
+  for (unsigned L = 0; L < Lanes; ++L)
+    if (bit(Mask, L) && isa::evalCmp(C, laneGet(Ty, A, L), laneGet(Ty, B, L)))
+      Out |= 1ULL << L;
+  return Out;
+}
+
+template <CmpKind C, ElemType Ty>
+uint64_t cmpImmIntRef(const uint8_t *A, int64_t Imm, uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  uint64_t Out = 0;
+  for (unsigned L = 0; L < Lanes; ++L)
+    if (bit(Mask, L) && isa::evalCmp(C, laneGet(Ty, A, L), Imm))
+      Out |= 1ULL << L;
+  return Out;
+}
+
+template <CmpKind C, ElemType Ty>
+uint64_t cmpFpRef(const uint8_t *A, const uint8_t *B, uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  uint64_t Out = 0;
+  for (unsigned L = 0; L < Lanes; ++L)
+    if (bit(Mask, L) &&
+        isa::evalCmp(C, laneGetF(Ty, A, L), laneGetF(Ty, B, L)))
+      Out |= 1ULL << L;
+  return Out;
+}
+
+template <CmpKind C, ElemType Ty>
+uint64_t cmpImmFpRef(const uint8_t *A, int64_t Imm, uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  const double BVal = static_cast<double>(Imm);
+  uint64_t Out = 0;
+  for (unsigned L = 0; L < Lanes; ++L)
+    if (bit(Mask, L) && isa::evalCmp(C, laneGetF(Ty, A, L), BVal))
+      Out |= 1ULL << L;
+  return Out;
+}
+
+template <ElemType Ty>
+void blendRef(uint8_t *Dst, const uint8_t *A, const uint8_t *B,
+              uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  for (unsigned L = 0; L < Lanes; ++L)
+    laneSet(Ty, Dst, L, bit(Mask, L) ? laneGet(Ty, A, L) : laneGet(Ty, B, L));
+}
+
+template <ElemType Ty>
+void bcastRef(uint8_t *Dst, int64_t Value, uint64_t Mask) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  for (unsigned L = 0; L < Lanes; ++L)
+    if (bit(Mask, L))
+      laneSet(Ty, Dst, L, Value);
+}
+
+template <ElemType Ty> void indexRef(uint8_t *Dst, int64_t Base) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  for (unsigned L = 0; L < Lanes; ++L)
+    laneSet(Ty, Dst, L, Base + L);
+}
+
+template <ElemType Ty>
+uint64_t conflictRef(const uint8_t *V1, const uint8_t *V2, uint64_t Enable) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  uint64_t Out = 0;
+  unsigned WindowStart = 0;
+  for (unsigned J = 0; J < Lanes; ++J) {
+    const int64_t Needle = laneGet(Ty, V1, J);
+    for (unsigned Prev = WindowStart; Prev < J; ++Prev) {
+      if (!bit(Enable, Prev))
+        continue;
+      if (laneGet(Ty, V2, Prev) == Needle) {
+        Out |= 1ULL << J;
+        WindowStart = J;
+        break;
+      }
+    }
+  }
+  return Out;
+}
+
+template <ElemType Ty>
+void gatherAddrRef(uint64_t *Addrs, const uint8_t *Idx, uint64_t Base,
+                   int64_t Disp, uint8_t Scale) {
+  constexpr unsigned Lanes = isa::laneCount(Ty);
+  for (unsigned L = 0; L < Lanes; ++L)
+    Addrs[L] = Base +
+               static_cast<uint64_t>(laneGet(Ty, Idx, L)) * Scale +
+               static_cast<uint64_t>(Disp);
+}
+
+KernelTable buildScalarTable() {
+  KernelTable T{};
+
+#define FV_FOR_TYPES(M, ...)                                                  \
+  M(ElemType::I32, 0, __VA_ARGS__)                                            \
+  M(ElemType::I64, 1, __VA_ARGS__)                                            \
+  M(ElemType::F32, 2, __VA_ARGS__)                                            \
+  M(ElemType::F64, 3, __VA_ARGS__)
+
+#define FV_SET_IBIN(TY, TI, SLOT, OP)                                         \
+  T.IntBin[SLOT][TI] = intBinRef<IOp::OP, TY>;
+  FV_FOR_TYPES(FV_SET_IBIN, 0, Add)
+  FV_FOR_TYPES(FV_SET_IBIN, 1, Sub)
+  FV_FOR_TYPES(FV_SET_IBIN, 2, Mul)
+  FV_FOR_TYPES(FV_SET_IBIN, 3, And)
+  FV_FOR_TYPES(FV_SET_IBIN, 4, Or)
+  FV_FOR_TYPES(FV_SET_IBIN, 5, Xor)
+  FV_FOR_TYPES(FV_SET_IBIN, 6, Min)
+  FV_FOR_TYPES(FV_SET_IBIN, 7, Max)
+#undef FV_SET_IBIN
+
+#define FV_SET_IIMM(TY, TI, SLOT, OP)                                         \
+  T.IntImm[SLOT][TI] = intImmRef<MOp::OP, TY>;
+  FV_FOR_TYPES(FV_SET_IIMM, 0, AddImm)
+  FV_FOR_TYPES(FV_SET_IIMM, 1, MulImm)
+  FV_FOR_TYPES(FV_SET_IIMM, 2, ShlImm)
+#undef FV_SET_IIMM
+
+#define FV_SET_FBIN(SLOT, OP)                                                 \
+  T.FpBin[SLOT][0] = fpBinRef<FOp::OP, ElemType::F32>;                        \
+  T.FpBin[SLOT][1] = fpBinRef<FOp::OP, ElemType::F64>;
+  FV_SET_FBIN(0, Add)
+  FV_SET_FBIN(1, Sub)
+  FV_SET_FBIN(2, Mul)
+  FV_SET_FBIN(3, Div)
+  FV_SET_FBIN(4, Min)
+  FV_SET_FBIN(5, Max)
+#undef FV_SET_FBIN
+
+#define FV_SET_CMP(TY, TI, COND)                                              \
+  T.CmpInt[static_cast<unsigned>(CmpKind::COND)][TI] =                        \
+      cmpIntRef<CmpKind::COND, TY>;                                           \
+  T.CmpImmInt[static_cast<unsigned>(CmpKind::COND)][TI] =                     \
+      cmpImmIntRef<CmpKind::COND, TY>;
+#define FV_SET_CMPF(COND)                                                     \
+  T.CmpFp[static_cast<unsigned>(CmpKind::COND)][0] =                          \
+      cmpFpRef<CmpKind::COND, ElemType::F32>;                                 \
+  T.CmpFp[static_cast<unsigned>(CmpKind::COND)][1] =                          \
+      cmpFpRef<CmpKind::COND, ElemType::F64>;                                 \
+  T.CmpImmFp[static_cast<unsigned>(CmpKind::COND)][0] =                       \
+      cmpImmFpRef<CmpKind::COND, ElemType::F32>;                              \
+  T.CmpImmFp[static_cast<unsigned>(CmpKind::COND)][1] =                       \
+      cmpImmFpRef<CmpKind::COND, ElemType::F64>;
+#define FV_SET_COND(COND)                                                     \
+  FV_FOR_TYPES(FV_SET_CMP, COND)                                              \
+  FV_SET_CMPF(COND)
+  FV_SET_COND(EQ)
+  FV_SET_COND(NE)
+  FV_SET_COND(LT)
+  FV_SET_COND(LE)
+  FV_SET_COND(GT)
+  FV_SET_COND(GE)
+#undef FV_SET_COND
+#undef FV_SET_CMPF
+#undef FV_SET_CMP
+
+#define FV_SET_MISC(TY, TI, ...)                                              \
+  T.Blend[TI] = blendRef<TY>;                                                 \
+  T.Broadcast[TI] = bcastRef<TY>;                                             \
+  T.Index[TI] = indexRef<TY>;                                                 \
+  T.Conflict[TI] = conflictRef<TY>;                                           \
+  T.GatherAddr[TI] = gatherAddrRef<TY>;
+  FV_FOR_TYPES(FV_SET_MISC, )
+#undef FV_SET_MISC
+#undef FV_FOR_TYPES
+
+  return T;
+}
+
+} // namespace
+
+const KernelTable &emu::simd::scalarKernels() {
+  static const KernelTable T = buildScalarTable();
+  return T;
+}

@@ -1,0 +1,48 @@
+//===- isa/LaneTraits.h - Per-ElemType lane-kernel traits -------*- C++ -*-===//
+//
+// Compile-time facts about how each ElemType's lanes behave inside the
+// emulator's 64-bit lane pipeline. VecReg widens every lane to int64 on
+// read and truncates on write; *which* extension it applies is the one
+// semantic degree of freedom between the element types, and every lane
+// kernel (src/emu/simd) must reproduce it exactly:
+//
+//   I32 -> sign-extend  (signed 32-bit arithmetic/compares)
+//   F32 -> zero-extend  (raw 32-bit bit patterns; integer min/max and
+//                        compares on F32-typed lanes are unsigned)
+//   I64/F64 -> identity (raw 64-bit)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FLEXVEC_ISA_LANETRAITS_H
+#define FLEXVEC_ISA_LANETRAITS_H
+
+#include "isa/Reg.h"
+
+namespace flexvec {
+namespace isa {
+
+/// Number of ElemType enumerators (table dimension for per-type kernels).
+inline constexpr unsigned NumElemTypes = 4;
+
+/// Number of CmpKind enumerators (table dimension for compare kernels).
+inline constexpr unsigned NumCmpKinds = 6;
+
+/// True when VecReg::laneInt sign-extends this type's lanes to 64 bits
+/// (false means zero-extension for 4-byte lanes, identity for 8-byte).
+constexpr bool laneSignExtends(ElemType Ty) { return Ty == ElemType::I32; }
+
+/// Lane width in bytes, usable in constant expressions (elemSize is the
+/// runtime twin with a covered-switch assert).
+constexpr unsigned laneBytes(ElemType Ty) {
+  return (Ty == ElemType::I32 || Ty == ElemType::F32) ? 4 : 8;
+}
+
+/// Lanes of a 512-bit vector at this element width.
+constexpr unsigned laneCount(ElemType Ty) {
+  return VectorBytes / laneBytes(Ty);
+}
+
+} // namespace isa
+} // namespace flexvec
+
+#endif // FLEXVEC_ISA_LANETRAITS_H

@@ -73,6 +73,76 @@ const Memory::Page *Memory::findPage(uint64_t PageIdx) const {
   return S ? S->get() : nullptr;
 }
 
+const uint8_t *Memory::spanForRead(uint64_t Addr, uint64_t Size,
+                                   uint64_t Accesses) const {
+  if (Hook || Size == 0)
+    return nullptr;
+  const uint64_t Off = Addr & PageMask;
+  if (Off + Size > PageSize)
+    return nullptr;
+  const uint64_t PageIdx = Addr / PageSize;
+  TlbEntry &E = Tlb[PageIdx & (TlbEntries - 1)];
+  if (E.PageIdx == PageIdx) {
+    const Page *Pg = E.Slot->get();
+    if (!(Pg->Perms & PermRead))
+      return nullptr; // fallback loop books the hit and faults
+    Stats.TlbHits += Accesses;
+    return Pg->Data.data() + Off;
+  }
+  // TLB miss: probe the map without booking, so an ineligible span leaves
+  // the counters for the fallback loop to produce.
+  auto &Map = const_cast<std::map<uint64_t, PageRef> &>(Pages);
+  auto It = Map.find(PageIdx);
+  if (It == Map.end() || !(It->second->Perms & PermRead))
+    return nullptr;
+  // Eligible: the reference loop's first access would miss and install,
+  // the remaining Accesses-1 would hit.
+  ++Stats.TlbMisses;
+  Stats.TlbHits += Accesses - 1;
+  E.PageIdx = PageIdx;
+  E.Slot = &It->second;
+  return It->second->Data.data() + Off;
+}
+
+uint8_t *Memory::spanForWrite(uint64_t Addr, uint64_t Size,
+                              uint64_t Accesses) {
+  if (Hook || Size == 0)
+    return nullptr;
+  const uint64_t Off = Addr & PageMask;
+  if (Off + Size > PageSize)
+    return nullptr;
+  const uint64_t PageIdx = Addr / PageSize;
+  TlbEntry &E = Tlb[PageIdx & (TlbEntries - 1)];
+  PageRef *S = nullptr;
+  bool Missed = false;
+  if (E.PageIdx == PageIdx) {
+    S = E.Slot;
+  } else {
+    auto It = Pages.find(PageIdx);
+    if (It == Pages.end())
+      return nullptr;
+    S = &It->second;
+    Missed = true;
+  }
+  // Perm check before any booking or COW, mirroring write(): a faulting
+  // write never copies a page.
+  if (!((*S)->Perms & PermWrite))
+    return nullptr;
+  if (Missed) {
+    ++Stats.TlbMisses;
+    Stats.TlbHits += Accesses - 1;
+    E.PageIdx = PageIdx;
+    E.Slot = S;
+  } else {
+    Stats.TlbHits += Accesses;
+  }
+  if (S->use_count() > 1) {
+    *S = std::make_shared<Page>(**S);
+    ++Stats.CowCopies;
+  }
+  return (*S)->Data.data() + Off;
+}
+
 Memory::Page *Memory::findPageForWrite(uint64_t PageIdx) {
   PageRef *S = lookup(PageIdx);
   if (!S)

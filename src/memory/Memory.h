@@ -122,6 +122,21 @@ public:
   /// Writes \p Size bytes. On fault nothing is modified.
   AccessResult write(uint64_t Addr, const void *Data, uint64_t Size);
 
+  /// Vector fast-path span resolution (src/emu/simd): a direct pointer to
+  /// the page bytes backing [Addr, Addr+Size), or nullptr when the span is
+  /// ineligible (hook armed, page straddle, zero size, unmapped, or
+  /// permission-violating). On success it books exactly what \p Accesses
+  /// same-page architectural accesses would have booked — TlbHits on a TLB
+  /// hit, one TlbMiss plus Accesses-1 hits (and a TLB install) on a miss,
+  /// plus CowCopies for the write flavour — so collapsing a per-lane loop
+  /// into one block copy is invisible in MemoryStats. On failure it books
+  /// nothing and caches nothing: the caller's fallback loop re-runs the
+  /// reference access sequence, which produces the legacy counts and the
+  /// legacy fault. The pointer is valid until the next map/unmap/clone.
+  const uint8_t *spanForRead(uint64_t Addr, uint64_t Size,
+                             uint64_t Accesses) const;
+  uint8_t *spanForWrite(uint64_t Addr, uint64_t Size, uint64_t Accesses);
+
   /// Debug accessors: identical to read()/write() except that they never
   /// consult the fault hook. Used by test harnesses, image construction,
   /// and the RTM undo-log rollback, all of which must keep working while

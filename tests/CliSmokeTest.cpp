@@ -135,6 +135,20 @@ TEST(BenchSmoke, MalformedJobsRejected) {
   EXPECT_EQ(R.Exit, 2) << R.Output;
 }
 
+TEST(BenchSmoke, BadSimModeRejected) {
+  expectRejected(Bench + " --sim-mode=warp", "--sim-mode");
+  expectRejected(Bench + " --sim-mode=", "--sim-mode");
+  expectRejected(Bench + " --sim-mode=FULL", "--sim-mode");
+}
+
+TEST(BenchSmoke, MalformedSamplingFlagsRejected) {
+  expectRejected(Bench + " --sample-interval=0", "--sample-interval");
+  expectRejected(Bench + " --sample-interval=abc", "--sample-interval");
+  expectRejected(Bench + " --sample-detail=0", "--sample-detail");
+  expectRejected(Bench + " --sample-warmup=-1", "--sample-warmup");
+  expectRejected(Bench + " --sample-seed=bogus", "--sample-seed");
+}
+
 const std::string Fuzz = FLEXVEC_FUZZ_PATH;
 
 TEST(FuzzSmoke, UnknownFlagRejected) {

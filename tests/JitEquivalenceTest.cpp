@@ -141,6 +141,8 @@ void expectStatsEqual(const emu::ExecStats &A, const emu::ExecStats &B,
   EXPECT_EQ(A.FFSuppressedLanes, B.FFSuppressedLanes) << Where;
   EXPECT_EQ(A.ConflictChecks, B.ConflictChecks) << Where;
   EXPECT_EQ(A.ConflictHits, B.ConflictHits) << Where;
+  EXPECT_EQ(A.SimdUnitStrideHits, B.SimdUnitStrideHits) << Where;
+  EXPECT_EQ(A.SimdMaskShortcircuits, B.SimdMaskShortcircuits) << Where;
   EXPECT_EQ(A.MaskDensity, B.MaskDensity) << Where;
   EXPECT_EQ(A.RtmRetryDepth, B.RtmRetryDepth) << Where;
   EXPECT_EQ(A.OpcodeCounts, B.OpcodeCounts) << Where;
