@@ -70,7 +70,7 @@ unsigned regKey(Reg R) {
 /// Rebuilds a program keeping instructions where Keep[i], remapping branch
 /// targets to the next kept instruction at or after the old target.
 Program rebuild(const std::vector<Instruction> &Instrs,
-                const std::vector<bool> &Keep) {
+                const std::vector<bool> &Keep, unsigned VecBytes) {
   std::vector<int32_t> NewIndex(Instrs.size() + 1, 0);
   int32_t Next = 0;
   for (size_t I = 0; I < Instrs.size(); ++I) {
@@ -90,7 +90,7 @@ Program rebuild(const std::vector<Instruction> &Instrs,
       Ins.Target = NewIndex[static_cast<size_t>(Ins.Target)];
     Out.push_back(std::move(Ins));
   }
-  return Program(std::move(Out));
+  return Program(std::move(Out), VecBytes);
 }
 
 // --- Dead code elimination ------------------------------------------------===//
@@ -149,7 +149,7 @@ unsigned deadCodeElimination(Program &P, const PeepholeOptions &Opts) {
     if (!Live[I])
       ++Removed;
   if (Removed)
-    P = rebuild(Instrs, Live);
+    P = rebuild(Instrs, Live, P.vectorBytes());
   return Removed;
 }
 
@@ -249,7 +249,7 @@ unsigned localCse(Program &P) {
   }
 
   if (Removed)
-    P = rebuild(Instrs, Keep);
+    P = rebuild(Instrs, Keep, P.vectorBytes());
   return Removed;
 }
 
@@ -353,7 +353,7 @@ unsigned hoistOneLoop(Program &P) {
         Out.push_back(std::move(Copy));
       }
       // The hoisted copy itself cannot be a branch (checked above).
-      P = Program(std::move(Out));
+      P = Program(std::move(Out), P.vectorBytes());
       return 1;
     }
   }

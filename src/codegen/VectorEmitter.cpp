@@ -83,7 +83,9 @@ VectorEmitter::VectorEmitter(ProgramBuilder &B, const LoopFunction &F,
   }
   if (Width == 0)
     Width = 4;
-  VL = VectorBytes / Width;
+  assert(isa::VectorConfig::isValidBytes(Opts.VectorBytes) &&
+         "invalid vector width");
+  VL = Opts.VectorBytes / Width;
   IntTy = Width == 4 ? ElemType::I32 : ElemType::I64;
   FloatTy = Width == 4 ? ElemType::F32 : ElemType::F64;
 
@@ -137,6 +139,8 @@ VectorEmitter::VectorEmitter(ProgramBuilder &B, const LoopFunction &F,
 
   CurMask = kLoop();
   NotesText = "VL=" + std::to_string(VL);
+  if (Opts.Predicated)
+    NotesText += "; predicated";
 
   // Collect the distinct immediates the body will need as vectors, so the
   // preheader can broadcast each exactly once (re-materializing them per
@@ -825,13 +829,23 @@ void VectorEmitter::emitPreheader() {
   }
 }
 
+void VectorEmitter::emitPredicatedHead(Reg HeadTemp, Reg BoundReg,
+                                       ProgramBuilder::Label ExitTo) {
+  B.kwhilelt(kLoop(), IntTy, inductionReg(), BoundReg).Comment =
+      "k_loop = whilelt(i, bound)";
+  B.ktest(HeadTemp, kLoop());
+  B.brZero(HeadTemp, ExitTo);
+}
+
 void VectorEmitter::emitChunkProlog(Reg BoundReg) {
   B.vindex(indexVec(), IntTy, inductionReg()).Comment = "v_i = i + lane";
-  Reg Bound = acquireVec();
-  B.vbroadcast(Bound, IntTy, BoundReg);
-  B.vcmp(kLoop(), CmpKind::LT, IntTy, indexVec(), Bound).Comment =
-      "k_loop = v_i < bound";
-  releaseVec(Bound);
+  if (!Opts.Predicated) {
+    Reg Bound = acquireVec();
+    B.vbroadcast(Bound, IntTy, BoundReg);
+    B.vcmp(kLoop(), CmpKind::LT, IntTy, indexVec(), Bound).Comment =
+        "k_loop = v_i < bound";
+    releaseVec(Bound);
+  }
   for (size_t S = 0; S < F.scalars().size(); ++S)
     if (Classes[S] == ScalarClass::Committed)
       B.vbroadcast(scalarVecReg(static_cast<int>(S)),

@@ -57,6 +57,12 @@ public:
     /// straight-line vector code with no VPLs; the caller guarantees (via
     /// up-front checks) that no relaxed dependence fires in this chunk.
     bool StraightlineOnly = false;
+    /// Vector register width this loop is compiled for; VL derives from it
+    /// and the loop's lane width. Defaults to the 512-bit baseline.
+    unsigned VectorBytes = isa::VectorBytes;
+    /// SVE-style predicated loop control: the chunk head computes k_loop
+    /// with KWHILELT and the prolog skips the bound broadcast + compare.
+    bool Predicated = false;
   };
 
   VectorEmitter(isa::ProgramBuilder &B, const ir::LoopFunction &F,
@@ -78,8 +84,15 @@ public:
   void emitPreheader();
 
   /// Per-chunk setup: v_i, k_loop against \p BoundReg, re-broadcast of
-  /// committed scalars from their scalar registers.
+  /// committed scalars from their scalar registers. Under Options::
+  /// Predicated the head already computed k_loop, so only v_i and the
+  /// re-broadcasts are emitted.
   void emitChunkProlog(isa::Reg BoundReg);
+
+  /// Predicated loop-control head (Options::Predicated):
+  ///   k_loop = whilelt(i, Bound); t = ktest k_loop; brZero t, ExitTo
+  void emitPredicatedHead(isa::Reg HeadTemp, isa::Reg BoundReg,
+                          isa::ProgramBuilder::Label ExitTo);
 
   /// Emits the whole body for one chunk (top-level statements, VPLs, early
   /// exits) under k_loop.

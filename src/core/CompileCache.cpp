@@ -12,9 +12,10 @@ using namespace flexvec::core;
 /// Bump when a pipeline change should invalidate previously hashed keys
 /// (persisted keys may outlive one process in the future).
 static constexpr uint64_t PipelineVersion =
-    4; // threaded dispatch + superinstruction fusion
+    5; // width-generic pipeline: VL + predication join the key
 
-uint64_t CompileCache::keyFor(const ir::LoopFunction &F, unsigned RtmTile) {
+uint64_t CompileCache::keyFor(const ir::LoopFunction &F, unsigned RtmTile,
+                              isa::VectorConfig Vec, bool Predicated) {
   // F.print() renders the full structure — parameters with types and
   // attributes, statements in lexical order — prefixed by the loop name on
   // its first line. Strip the name so structurally identical loops share a
@@ -25,14 +26,17 @@ uint64_t CompileCache::keyFor(const ir::LoopFunction &F, unsigned RtmTile) {
     Text.erase(5, Open - 5);
   uint64_t H = fnv1a64(Text);
   H = hashCombine(H, RtmTile);
+  H = hashCombine(H, Vec.Bytes);
+  H = hashCombine(H, Predicated ? 1u : 0u);
   H = hashCombine(H, PipelineVersion);
   return H;
 }
 
 std::shared_ptr<const PipelineResult>
 CompileCache::getOrCompile(const ir::LoopFunction &F, unsigned RtmTile,
-                           bool *WasHit) {
-  uint64_t Key = keyFor(F, RtmTile);
+                           bool *WasHit, isa::VectorConfig Vec,
+                           bool Predicated) {
+  uint64_t Key = keyFor(F, RtmTile, Vec, Predicated);
 
   std::promise<std::shared_ptr<const PipelineResult>> Promise;
   Entry Fut;
@@ -54,8 +58,12 @@ CompileCache::getOrCompile(const ir::LoopFunction &F, unsigned RtmTile,
     if (WasHit)
       *WasHit = false;
     try {
-      auto R =
-          std::make_shared<const PipelineResult>(compileLoop(F, RtmTile));
+      driver::DriverOptions Opts;
+      Opts.RtmTile = RtmTile;
+      Opts.Vec = Vec;
+      Opts.Predicated = Predicated;
+      auto R = std::make_shared<const PipelineResult>(
+          driver::compileLoop(F, Opts));
       Promise.set_value(R);
       return R;
     } catch (...) {

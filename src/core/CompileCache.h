@@ -33,9 +33,13 @@ namespace core {
 
 class CompileCache {
 public:
-  /// Content hash of (loop structure, RtmTile, pipeline version). Stable
-  /// across platforms and runs; ignores the loop name.
-  static uint64_t keyFor(const ir::LoopFunction &F, unsigned RtmTile);
+  /// Content hash of (loop structure, RtmTile, vector width, predication
+  /// mode, pipeline version). Stable across platforms and runs; ignores
+  /// the loop name. Width and predication participate so compilations for
+  /// different VLs never alias.
+  static uint64_t keyFor(const ir::LoopFunction &F, unsigned RtmTile,
+                         isa::VectorConfig Vec = isa::defaultVectorConfig(),
+                         bool Predicated = false);
 
   /// Returns the cached pipeline result for \p F, compiling it on the
   /// first request. \p WasHit (optional) reports whether this call was
@@ -44,7 +48,9 @@ public:
   std::shared_ptr<const PipelineResult>
   getOrCompile(const ir::LoopFunction &F,
                unsigned RtmTile = codegen::DefaultRtmTile,
-               bool *WasHit = nullptr);
+               bool *WasHit = nullptr,
+               isa::VectorConfig Vec = isa::defaultVectorConfig(),
+               bool Predicated = false);
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }

@@ -96,7 +96,8 @@ CellResult evalCell(const SweepWorkload &W, VariantId V,
   std::shared_ptr<const PipelineResult> PR;
   {
     obs::ScopedTimer T(Cell.Times.CompileMs);
-    PR = Cache.getOrCompile(*W.F, Opts.RtmTile);
+    PR = Cache.getOrCompile(*W.F, Opts.RtmTile, nullptr, Opts.Vec,
+                            Opts.Predicated);
   }
 
   // Every cell carries the remark stream filtered to its variant —
@@ -243,6 +244,7 @@ SweepResult core::runSweep(const std::vector<SweepWorkload> &Workloads,
   R.Seed = Opts.Seed;
   R.Scale = Opts.Scale;
   R.Trips = std::max(1u, Opts.Trips);
+  R.Vec = Opts.Vec;
   R.Sim = Opts.Sim;
   R.Sample = Opts.Sample;
 
@@ -319,6 +321,12 @@ Json core::benchJson(const SweepResult &R, bool Deterministic) {
   Doc.set("seed", R.Seed);
   Doc.set("scale", R.Scale);
   Doc.set("trips", R.Trips);
+  // Sweep-config field: the vector width the cells ran at, in bits.
+  // Emitted only at non-default widths so the VL=512 payload stays
+  // byte-identical to the v2 baseline; absent means 512 (benchdiff
+  // treats the two spellings as equal).
+  if (R.Vec.Bytes != isa::VectorBytes)
+    Doc.set("vl", R.Vec.bits());
   if (Sampled) {
     Json Samp = Json::object();
     Samp.set("interval_instrs", R.Sample.IntervalInstrs);

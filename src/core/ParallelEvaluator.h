@@ -89,6 +89,12 @@ struct SweepOptions {
   double Scale = 1.0; ///< Recorded in the result (workload sizing).
   unsigned Trips = 1; ///< Whole-matrix repetitions (cache reuse check).
   unsigned RtmTile = codegen::DefaultRtmTile;
+  /// Vector width every cell is compiled and run at. Defaults to the
+  /// session configuration (FLEXVEC_VL in bits, else the 512-bit
+  /// baseline).
+  isa::VectorConfig Vec = isa::defaultVectorConfig();
+  /// SVE-style predicated loop control for every compiled variant.
+  bool Predicated = false;
   SimMode Sim = SimMode::Full;  ///< Timing-model fidelity.
   sim::SampleConfig Sample;     ///< Regimen when Sim == Sampled.
   /// Chaos mode: when non-zero, every cell runs under a seeded RTM
@@ -159,6 +165,8 @@ struct SweepResult {
   double Scale = 1.0;
   unsigned Trips = 1;
   double WallSeconds = 0;
+  /// Width the cells compiled and ran at.
+  isa::VectorConfig Vec;
   SimMode Sim = SimMode::Full;  ///< Fidelity the cells ran under.
   sim::SampleConfig Sample;     ///< Regimen (meaningful when Sampled).
 

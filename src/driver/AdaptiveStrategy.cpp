@@ -25,6 +25,7 @@
 #include "codegen/ScalarCodeGen.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cassert>
 #include <optional>
 
@@ -149,7 +150,8 @@ public:
     // probes leave no remarks or labels behind.
     auto probeOk = [&](CodeGenKind K) {
       RemarkStream Scratch;
-      LoweringContext Probe(Ctx.F, Ctx.Plan, Ctx.RtmTile, Scratch);
+      LoweringContext Probe(Ctx.F, Ctx.Plan, Ctx.RtmTile, Scratch, Ctx.Vec,
+                            Ctx.Predicated);
       return createStrategy(K)->prepare(Probe);
     };
 
@@ -231,7 +233,7 @@ public:
 
   std::string notes(const LoweringContext &Ctx) const override {
     std::string N = "adaptive dispatch: minTrip=" +
-                    std::to_string(Cfg.MinTrip) +
+                    std::to_string(effectiveMinTrip(Ctx)) +
                     ", aliasPairs=" + std::to_string(GuardPairs) +
                     ", demote>=" + std::to_string(Cfg.DemotePercent) +
                     "% over " + std::to_string(Cfg.Window) +
@@ -242,6 +244,14 @@ public:
   }
 
 private:
+  /// A wide configuration raises the guard floor to one full vector of the
+  /// narrowest lane width: below that, a chunk cannot even fill its lanes
+  /// and the vector setup cost always dominates. At the 512-bit default
+  /// this equals the configured MinTrip of 16, so nothing changes.
+  unsigned effectiveMinTrip(const LoweringContext &Ctx) const {
+    return std::max(Cfg.MinTrip, Ctx.Vec.Bytes / 4);
+  }
+
   /// The prologue reads and writes only r25..r29; r24 (i), r31 (break
   /// flag), and r0/r1 (strategy-reserved) stay untouched.
   void emitDispatchPrologue(LoweringContext &Ctx) {
@@ -306,7 +316,8 @@ private:
     // without touching the state machine.
     ProgramBuilder::Label GuardFailL = B.createLabel();
     ProgramBuilder::Label GuardPassL = B.createLabel();
-    B.cmpImm(T0, CmpKind::LT, Ctx.trip(), static_cast<int64_t>(Cfg.MinTrip));
+    B.cmpImm(T0, CmpKind::LT, Ctx.trip(),
+             static_cast<int64_t>(effectiveMinTrip(Ctx)));
     B.brNonZero(T0, GuardFailL).Comment = "guard: trip count too small";
 
     GuardPairs = 0;

@@ -166,7 +166,8 @@ public:
     {
       std::unique_ptr<LoweringStrategy> S =
           createAdaptiveStrategy(Ctx.Opts.Adaptive);
-      R.Adaptive = lowerLoop(Ctx.F, R.Plan, Ctx.Opts.RtmTile, *S, R.Remarks);
+      R.Adaptive = lowerLoop(Ctx.F, R.Plan, Ctx.Opts.RtmTile, *S, R.Remarks,
+                             Ctx.Opts.Vec, Ctx.Opts.Predicated);
     }
   }
 
@@ -174,8 +175,8 @@ private:
   static std::optional<CompiledLoop> lower(PassContext &Ctx,
                                            CodeGenKind Kind) {
     std::unique_ptr<LoweringStrategy> S = createStrategy(Kind);
-    return lowerLoop(Ctx.F, Ctx.R.Plan, Ctx.Opts.RtmTile, *S,
-                     Ctx.R.Remarks);
+    return lowerLoop(Ctx.F, Ctx.R.Plan, Ctx.Opts.RtmTile, *S, Ctx.R.Remarks,
+                     Ctx.Opts.Vec, Ctx.Opts.Predicated);
   }
 };
 

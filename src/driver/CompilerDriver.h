@@ -41,6 +41,12 @@ namespace driver {
 /// Driver configuration.
 struct DriverOptions {
   unsigned RtmTile = codegen::DefaultRtmTile;
+  /// Vector width every variant is compiled for. Defaults to the session
+  /// configuration (FLEXVEC_VL in bits, else the 512-bit baseline).
+  isa::VectorConfig Vec = isa::defaultVectorConfig();
+  /// SVE-style predicated loop control: chunk heads compute k_loop with
+  /// KWHILELT instead of the vindex/broadcast/vcmp triple.
+  bool Predicated = false;
   /// Thresholds compiled into the flexvec-adaptive dispatch prologue.
   AdaptiveConfig Adaptive;
   /// When the post-codegen program verifier runs. Auto means "debug builds

@@ -40,7 +40,10 @@ LoweringContext::emitChunkLoop(Reg Bound, ProgramBuilder::Label ExitTo,
   assert(Em && "chunk loop emitted outside the skeleton");
   ProgramBuilder::Label Top = B.createLabel();
   B.bind(Top);
-  emitLoopHead(Bound, ExitTo);
+  if (Predicated)
+    Em->emitPredicatedHead(headTemp(), Bound, ExitTo);
+  else
+    emitLoopHead(Bound, ExitTo);
   Em->emitChunkProlog(Bound);
   if (AfterProlog)
     AfterProlog();
@@ -591,7 +594,10 @@ std::string driver::emitSkeletonBody(LoweringContext &Ctx,
                                      LoweringStrategy &S) {
   Ctx.VecExit = Ctx.B.createLabel();
   Ctx.HaltL = Ctx.B.createLabel();
-  VectorEmitter Em(Ctx.B, Ctx.F, Ctx.Plan, S.emitterOptions(Ctx));
+  VectorEmitter::Options Opts = S.emitterOptions(Ctx);
+  Opts.VectorBytes = Ctx.Vec.Bytes;
+  Opts.Predicated = Ctx.Predicated;
+  VectorEmitter Em(Ctx.B, Ctx.F, Ctx.Plan, Opts);
   Ctx.Em = &Em;
 
   Em.emitPreheader();         // 1. broadcast invariants, init accumulators
@@ -610,8 +616,9 @@ std::string driver::emitSkeletonBody(LoweringContext &Ctx,
 std::optional<CompiledLoop>
 driver::lowerLoop(const LoopFunction &F, const VectorizationPlan &Plan,
                   unsigned RtmTile, LoweringStrategy &S,
-                  RemarkStream &Remarks) {
-  LoweringContext Ctx(F, Plan, RtmTile, Remarks);
+                  RemarkStream &Remarks, isa::VectorConfig Vec,
+                  bool Predicated) {
+  LoweringContext Ctx(F, Plan, RtmTile, Remarks, Vec, Predicated);
   if (!S.prepare(Ctx))
     return std::nullopt; // The strategy has already remarked the decline.
 

@@ -65,11 +65,21 @@ struct LoweringContext {
   /// an aborted speculative attempt bump the cell's abort-event counter
   /// when this is set; normal lowering (0) is byte-identical to before.
   uint64_t DispatchCellAddr = 0;
+  /// Vector width this lowering compiles for; stamped into the Program and
+  /// the emitter options. Defaults to the 512-bit baseline.
+  isa::VectorConfig Vec;
+  /// SVE-style predicated loop control (KWHILELT chunk heads).
+  bool Predicated = false;
 
   LoweringContext(const ir::LoopFunction &F,
                   const analysis::VectorizationPlan &Plan, unsigned RtmTile,
-                  RemarkStream &Remarks)
-      : F(F), Plan(Plan), RtmTile(RtmTile), Remarks(Remarks) {}
+                  RemarkStream &Remarks,
+                  isa::VectorConfig Vec = isa::VectorConfig(),
+                  bool Predicated = false)
+      : F(F), Plan(Plan), RtmTile(RtmTile), Remarks(Remarks), Vec(Vec),
+        Predicated(Predicated) {
+    B.setVectorBytes(Vec.Bytes);
+  }
 
   /// Trip-count register (scalar parameter holding n).
   isa::Reg trip() const {
@@ -158,7 +168,9 @@ std::string emitSkeletonBody(LoweringContext &Ctx, LoweringStrategy &S);
 /// remark); otherwise emits an Applied remark recording the generation.
 std::optional<codegen::CompiledLoop>
 lowerLoop(const ir::LoopFunction &F, const analysis::VectorizationPlan &Plan,
-          unsigned RtmTile, LoweringStrategy &S, RemarkStream &Remarks);
+          unsigned RtmTile, LoweringStrategy &S, RemarkStream &Remarks,
+          isa::VectorConfig Vec = isa::VectorConfig(),
+          bool Predicated = false);
 
 } // namespace driver
 } // namespace flexvec

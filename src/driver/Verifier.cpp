@@ -269,6 +269,11 @@ OperandSpec specFor(Opcode Op) {
     S.Dst = Want::Scalar;
     S.Src1 = Want::Mask;
     return S;
+  case Opcode::KWhileLT:
+    S.Dst = Want::Mask;
+    S.Src1 = Want::Scalar; // induction value
+    S.Src2 = Want::Scalar; // bound
+    return S;
   }
   return S; // unreachable; covered switch
 }

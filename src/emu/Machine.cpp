@@ -69,6 +69,7 @@ void ExecStats::merge(const ExecStats &O) {
   ConflictHits += O.ConflictHits;
   SimdUnitStrideHits += O.SimdUnitStrideHits;
   SimdMaskShortcircuits += O.SimdMaskShortcircuits;
+  MaskDensityUsed = std::max(MaskDensityUsed, O.MaskDensityUsed);
   for (size_t I = 0; I < MaskDensity.size(); ++I)
     MaskDensity[I] += O.MaskDensity[I];
   for (size_t I = 0; I < RtmRetryDepth.size(); ++I)
@@ -103,7 +104,7 @@ std::string ExecResult::describe() const {
 // --- VecReg lane accessors ----------------------------------------------===//
 
 int64_t VecReg::laneInt(ElemType Ty, unsigned Lane) const {
-  assert(Lane < lanesFor(Ty) && "lane out of range");
+  assert(Lane < laneCountFor(MaxVectorBytes, Ty) && "lane out of range");
   switch (Ty) {
   case ElemType::I32: {
     int32_t V;
@@ -130,7 +131,7 @@ int64_t VecReg::laneInt(ElemType Ty, unsigned Lane) const {
 }
 
 void VecReg::setLaneInt(ElemType Ty, unsigned Lane, int64_t Value) {
-  assert(Lane < lanesFor(Ty) && "lane out of range");
+  assert(Lane < laneCountFor(MaxVectorBytes, Ty) && "lane out of range");
   switch (Ty) {
   case ElemType::I32:
   case ElemType::F32: {
@@ -148,7 +149,7 @@ void VecReg::setLaneInt(ElemType Ty, unsigned Lane, int64_t Value) {
 }
 
 double VecReg::laneFloat(ElemType Ty, unsigned Lane) const {
-  assert(Lane < lanesFor(Ty) && "lane out of range");
+  assert(Lane < laneCountFor(MaxVectorBytes, Ty) && "lane out of range");
   if (Ty == ElemType::F32) {
     float V;
     std::memcpy(&V, Bytes.data() + Lane * 4, 4);
@@ -161,7 +162,7 @@ double VecReg::laneFloat(ElemType Ty, unsigned Lane) const {
 }
 
 void VecReg::setLaneFloat(ElemType Ty, unsigned Lane, double Value) {
-  assert(Lane < lanesFor(Ty) && "lane out of range");
+  assert(Lane < laneCountFor(MaxVectorBytes, Ty) && "lane out of range");
   if (Ty == ElemType::F32) {
     float V = static_cast<float>(Value);
     std::memcpy(Bytes.data() + Lane * 4, &V, 4);
@@ -211,6 +212,9 @@ void Machine::resetRegisters() {
 void Machine::predecode(const Program &P) {
   Plan.clear();
   Plan.reserve(P.size());
+  VecBytes = P.vectorBytes();
+  assert(isa::VectorConfig::isValidBytes(VecBytes) &&
+         "program compiled for an unsupported vector width");
   for (size_t Idx = 0; Idx < P.size(); ++Idx) {
     const Instruction &I = P[Idx];
     DecodedInstr D;
@@ -218,7 +222,7 @@ void Machine::predecode(const Program &P) {
     D.Type = I.Type;
     D.Cond = I.Cond;
     D.ES = static_cast<uint8_t>(elemSize(I.Type));
-    D.Lanes = static_cast<uint8_t>(lanesFor(I.Type));
+    D.Lanes = static_cast<uint8_t>(laneCountFor(VecBytes, I.Type));
     D.Dst = I.Dst.Index;
     D.Src1 = I.Src1.Index;
     D.Src2 = I.Src2.Index;
@@ -500,9 +504,10 @@ void emu::recordMetrics(const ExecStats &S, obs::Registry &R) {
   R.counter("emu.rtm.budget_exhausted").inc(S.RtmBudgetExhausted);
   R.counter("emu.rtm.backoff_cycles").inc(S.BackoffCycles);
   R.counter("emu.trace.batches").inc(S.TraceBatches);
-  obs::Histogram &MD =
-      R.histogram("emu.mask_density", ExecStats::MaskDensityBuckets);
-  for (unsigned B = 0; B < ExecStats::MaskDensityBuckets; ++B)
+  // Bucket count tracks the producing run's vector width (17 at the
+  // 512-bit default) so rendered payloads are unchanged there.
+  obs::Histogram &MD = R.histogram("emu.mask_density", S.MaskDensityUsed);
+  for (unsigned B = 0; B < S.MaskDensityUsed; ++B)
     if (S.MaskDensity[B])
       MD.addToBucket(B, S.MaskDensity[B]);
   obs::Histogram &RD =

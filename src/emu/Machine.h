@@ -34,9 +34,11 @@ namespace simd {
 struct KernelTable;
 }
 
-/// One 512-bit vector register with typed lane accessors.
+/// One vector register with typed lane accessors. Storage is sized for the
+/// widest supported configuration (2048-bit); a run at a narrower vector
+/// width simply leaves the upper bytes untouched.
 struct VecReg {
-  alignas(64) std::array<uint8_t, isa::VectorBytes> Bytes{};
+  alignas(64) std::array<uint8_t, isa::MaxVectorBytes> Bytes{};
 
   int64_t laneInt(isa::ElemType Ty, unsigned Lane) const;
   void setLaneInt(isa::ElemType Ty, unsigned Lane, int64_t Value);
@@ -55,6 +57,9 @@ struct DynInstr {
   bool Taken = false;      ///< For branches: taken?
   uint64_t ActiveMask = 0; ///< Resolved write mask (vector ops).
   unsigned AccessSize = 0; ///< Bytes per memory access (memory ops).
+  /// Vector-register width (bytes) of the producing run; timing models
+  /// scale vector-op micro-op counts by it.
+  uint16_t VecBytes = isa::VectorBytes;
   /// Effective addresses of the memory accesses this instruction performed
   /// (one per active lane for gathers/scatters). Points into the machine's
   /// batch address pool: valid only for the duration of the sink call that
@@ -135,9 +140,17 @@ struct ExecStats {
   /// Write-mask density of vector ops: bucket N counts vector instructions
   /// that executed with exactly N active lanes (0..16 for 512-bit / 32-bit
   /// elements). The paper's partial-vector efficiency argument is read
-  /// straight off this distribution.
+  /// straight off this distribution. Storage spans the widest supported
+  /// configuration (2048-bit / 32-bit elements = 64 lanes); the run stamps
+  /// how many buckets its vector width can populate so metric rendering
+  /// stays unchanged at the 512-bit default.
   static constexpr unsigned MaskDensityBuckets = 17;
-  std::array<uint64_t, MaskDensityBuckets> MaskDensity{};
+  static constexpr unsigned MaskDensityMaxBuckets =
+      isa::MaxVectorBytes / 4 + 1;
+  std::array<uint64_t, MaskDensityMaxBuckets> MaskDensity{};
+  /// Buckets the producing run's vector width can populate (lanes of the
+  /// narrowest element type + 1); 17 for the 512-bit default.
+  unsigned MaskDensityUsed = MaskDensityBuckets;
 
   /// Retry depth of successful transactions: bucket N counts commits that
   /// needed N in-place retries first (last bucket saturates).
@@ -344,7 +357,7 @@ private:
     isa::ElemType Type;
     isa::CmpKind Cond;
     uint8_t ES;    ///< Element size in bytes.
-    uint8_t Lanes; ///< Lanes of a 512-bit vector at this element size.
+    uint8_t Lanes; ///< Lanes at this element size and the run's width.
     uint8_t Dst, Src1, Src2, Src3;
     uint8_t EffMask; ///< Write-mask register; NoEffMask = all lanes.
     uint8_t Scale;
@@ -398,6 +411,11 @@ private:
   std::array<int64_t, isa::NumScalarRegs> R{};
   std::array<VecReg, isa::NumVectorRegs> V{};
   std::array<uint64_t, isa::NumMaskRegs> K{};
+
+  /// Vector width (bytes) of the program being executed; predecode() reads
+  /// it off the Program and bakes lane counts / all-lanes masks into the
+  /// plan.
+  unsigned VecBytes = isa::VectorBytes;
 
   // Transaction control state.
   bool TxAborted = false;

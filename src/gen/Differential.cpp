@@ -59,7 +59,11 @@ CheckResult gen::checkLoop(const ir::LoopFunction &F, uint64_t InputSeed,
     return fail(FailureClass::RoundTrip, "",
                 "re-print differs from original:\n" + Dsl);
 
-  core::PipelineResult PR = core::compileLoop(F, Opts.RtmTile);
+  driver::DriverOptions DOpts;
+  DOpts.RtmTile = Opts.RtmTile;
+  DOpts.Vec = Opts.Vec;
+  DOpts.Predicated = Opts.Predicated;
+  core::PipelineResult PR = driver::compileLoop(F, DOpts);
   if (!PR.Plan.Vectorizable)
     return fail(FailureClass::NotVectorizable, "",
                 PR.Plan.Reason + "\n" + Dsl);

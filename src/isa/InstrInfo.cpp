@@ -102,6 +102,9 @@ std::array<InstrTiming, NumOpcodes> buildTimingTable() {
     set(Op, 1, 0.5, PortKind::Vec);
   set(Opcode::KTest, 2, 1, PortKind::ALU);
   set(Opcode::KPopcnt, 2, 1, PortKind::ALU);
+  // SVE-style whilelt predicate generation: same class as the KFTM mask
+  // producers (scalar compare fanned across the mask unit).
+  set(Opcode::KWhileLT, 2, 1, PortKind::Vec);
 
   // RTM begin/commit overhead, in the spirit of Haswell TSX measurements.
   set(Opcode::XBegin, 16, 16, PortKind::ALU, 5);

@@ -78,6 +78,7 @@ bool Instruction::isVector() const {
   case Opcode::VConflictM:
   case Opcode::KFtmExc:
   case Opcode::KFtmInc:
+  case Opcode::KWhileLT:
     return true;
   default:
     return false;

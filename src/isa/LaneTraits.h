@@ -37,9 +37,10 @@ constexpr unsigned laneBytes(ElemType Ty) {
   return (Ty == ElemType::I32 || Ty == ElemType::F32) ? 4 : 8;
 }
 
-/// Lanes of a 512-bit vector at this element width.
+/// Lanes of a default-width (512-bit) vector at this element width; thin
+/// constexpr wrapper over the single laneCountFor definition (isa/Reg.h).
 constexpr unsigned laneCount(ElemType Ty) {
-  return VectorBytes / laneBytes(Ty);
+  return laneCountFor(VectorBytes, Ty);
 }
 
 } // namespace isa

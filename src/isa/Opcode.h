@@ -8,6 +8,8 @@
 //   VConflictM         - memory conflict detection (VPCONFLICTM.D/Q)
 //   VMovFF / VGatherFF - first-faulting load / gather (VMOVFF, VPGATHERFF)
 //   XBegin/XEnd/XAbort - restricted transactional memory (RTM alternative)
+//   KWhileLT           - SVE-style whilelt loop-control predicate (the
+//                        predicated lowering mode's chunk mask generator)
 //
 //===----------------------------------------------------------------------===//
 
@@ -120,6 +122,8 @@ enum class Opcode : uint8_t {
   KNot,    ///< Dst = ~Src1 (within lane width of Type).
   KTest,   ///< Dst(scalar) = (Src1 != 0) ? 1 : 0.
   KPopcnt, ///< Dst(scalar) = popcount(Src1).
+  KWhileLT, ///< Dst[l] = (Src1 + l < Src2) for l < lanes(Type); the
+            ///< SVE-style whilelt loop-control predicate generator.
 
   // --- Restricted transactional memory (Section 3.3.2) ---
   XBegin, ///< Begin transaction; on abort, control transfers to Target

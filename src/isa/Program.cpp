@@ -52,7 +52,7 @@ Program ProgramBuilder::finalize() {
            "branch to unknown label");
     I.Target = LabelOffsets[I.Target];
   }
-  return Program(std::move(Resolved));
+  return Program(std::move(Resolved), VecBytes);
 }
 
 // --- Control -----------------------------------------------------------===//
@@ -499,6 +499,17 @@ Instruction &ProgramBuilder::kftmInc(Reg KD, ElemType Ty, Reg WriteEnable,
   I.Dst = KD;
   I.Src1 = KStop;
   I.MaskReg = WriteEnable;
+  return emit(I);
+}
+
+Instruction &ProgramBuilder::kwhilelt(Reg KD, ElemType Ty, Reg I_, Reg Bound) {
+  assert(KD.isMask() && I_.isScalar() && Bound.isScalar());
+  Instruction I;
+  I.Op = Opcode::KWhileLT;
+  I.Type = Ty;
+  I.Dst = KD;
+  I.Src1 = I_;
+  I.Src2 = Bound;
   return emit(I);
 }
 

@@ -22,8 +22,14 @@ namespace isa {
 class Program {
 public:
   Program() = default;
-  explicit Program(std::vector<Instruction> Instrs)
-      : Instrs(std::move(Instrs)) {}
+  explicit Program(std::vector<Instruction> Instrs,
+                   unsigned VecBytes = VectorBytes)
+      : Instrs(std::move(Instrs)), VecBytes(VecBytes) {}
+
+  /// Vector-register width (bytes) this program was compiled for; the
+  /// emulator predecodes lane counts and all-lanes masks from it.
+  unsigned vectorBytes() const { return VecBytes; }
+  void setVectorBytes(unsigned Bytes) { VecBytes = Bytes; }
 
   size_t size() const { return Instrs.size(); }
   bool empty() const { return Instrs.empty(); }
@@ -50,6 +56,7 @@ public:
 
 private:
   std::vector<Instruction> Instrs;
+  unsigned VecBytes = VectorBytes;
 };
 
 /// Assembler-style builder with symbolic labels.
@@ -128,6 +135,9 @@ public:
                           Reg V2);
   Instruction &kftmExc(Reg KD, ElemType Ty, Reg WriteEnable, Reg KStop);
   Instruction &kftmInc(Reg KD, ElemType Ty, Reg WriteEnable, Reg KStop);
+  /// SVE-style loop-control predicate: KD[l] = (I + l < Bound) for the
+  /// lanes of Ty at the builder's vector width.
+  Instruction &kwhilelt(Reg KD, ElemType Ty, Reg I, Reg Bound);
 
   // --- Masks ---
   Instruction &kmov(Reg D, Reg S);
@@ -142,6 +152,12 @@ public:
   Instruction &xend();
   Instruction &xabort();
 
+  /// Vector width (bytes) stamped onto the finalized Program. Defaults to
+  /// the 512-bit architecture default; the lowering pipeline sets it from
+  /// the compilation's VectorConfig.
+  void setVectorBytes(unsigned Bytes) { VecBytes = Bytes; }
+  unsigned vectorBytes() const { return VecBytes; }
+
   /// Resolves all labels and produces the program. Every created label must
   /// have been bound.
   Program finalize();
@@ -149,6 +165,7 @@ public:
 private:
   std::vector<Instruction> Instrs;
   std::vector<int32_t> LabelOffsets; ///< -1 while unbound.
+  unsigned VecBytes = VectorBytes;
 };
 
 } // namespace isa

@@ -17,8 +17,16 @@
 namespace flexvec {
 namespace isa {
 
-/// Width of a vector register in bytes (AVX-512: 512 bits).
+/// Default width of a vector register in bytes (AVX-512: 512 bits). The
+/// pipeline is width-generic — see VectorConfig below — and this is the
+/// value every layer assumes when no configuration is threaded through.
 inline constexpr unsigned VectorBytes = 64;
+
+/// The supported vector-width range: 128-bit (SSE/NEON-class) through
+/// 2048-bit (the SVE architectural maximum). Emulator register storage is
+/// sized for the maximum so one Machine can run any configuration.
+inline constexpr unsigned MinVectorBytes = 16;
+inline constexpr unsigned MaxVectorBytes = 256;
 
 inline constexpr unsigned NumScalarRegs = 32;
 inline constexpr unsigned NumVectorRegs = 32;
@@ -41,8 +49,52 @@ inline unsigned elemSize(ElemType Ty) {
   return 0;
 }
 
-/// Number of lanes a 512-bit vector holds for \p Ty.
-inline unsigned lanesFor(ElemType Ty) { return VectorBytes / elemSize(Ty); }
+/// THE lane-count definition: lanes a \p VecBytes-wide vector holds for
+/// \p Ty. Every other lane-count helper (lanesFor, laneCount,
+/// VectorConfig::lanes) is a thin wrapper over this one.
+constexpr unsigned laneCountFor(unsigned VecBytes, ElemType Ty) {
+  return VecBytes / ((Ty == ElemType::I32 || Ty == ElemType::F32) ? 4u : 8u);
+}
+
+/// Number of lanes a default-width (512-bit) vector holds for \p Ty.
+inline unsigned lanesFor(ElemType Ty) {
+  return laneCountFor(VectorBytes, Ty);
+}
+
+/// Per-compilation / per-run vector width. Valid widths are the powers of
+/// two from MinVectorBytes to MaxVectorBytes (128 -> 2048 bits); masks
+/// stay uint64_t because the widest configuration with the narrowest lane
+/// (2048-bit / 4-byte lanes) is exactly 64 lanes.
+struct VectorConfig {
+  unsigned Bytes = VectorBytes;
+
+  constexpr VectorConfig() = default;
+  constexpr explicit VectorConfig(unsigned Bytes) : Bytes(Bytes) {}
+
+  static constexpr bool isValidBytes(unsigned B) {
+    return B >= MinVectorBytes && B <= MaxVectorBytes &&
+           (B & (B - 1)) == 0;
+  }
+  static constexpr bool isValidBits(unsigned Bits) {
+    return Bits % 8 == 0 && isValidBytes(Bits / 8);
+  }
+
+  constexpr unsigned bits() const { return Bytes * 8; }
+  constexpr unsigned lanes(ElemType Ty) const {
+    return laneCountFor(Bytes, Ty);
+  }
+  /// Most lanes any element type yields at this width (4-byte lanes).
+  constexpr unsigned maxLanes() const { return Bytes / 4; }
+
+  bool operator==(const VectorConfig &O) const { return Bytes == O.Bytes; }
+  bool operator!=(const VectorConfig &O) const { return Bytes != O.Bytes; }
+};
+
+/// Process-default vector configuration: the FLEXVEC_VL environment
+/// variable (in bits: 128, 256, 512, 1024, 2048) when set and valid,
+/// otherwise the 512-bit default. Read once and cached, matching the
+/// FLEXVEC_DISPATCH / FLEXVEC_SIMD override pattern.
+VectorConfig defaultVectorConfig();
 
 inline bool isFloatType(ElemType Ty) {
   return Ty == ElemType::F32 || Ty == ElemType::F64;

@@ -108,6 +108,23 @@ private:
         return false;
       }
     }
+    // Vector width is a sweep-config field too. An absent key means the
+    // 512-bit default (the v2 baseline predates the field), so an old
+    // baseline still compares against a current default run — but a
+    // payload produced at a different VL is a different experiment, not
+    // a regression.
+    auto vlBits = [](const Json &Doc) {
+      const Json *V = Doc.find("vl");
+      return V ? V->asDouble() : 512.0;
+    };
+    double BVl = vlBits(Base), CVl = vlBits(Cur);
+    if (BVl != CVl) {
+      std::ostringstream Msg;
+      Msg << "vl: sweep configuration differs (baseline " << BVl
+          << " vs current " << CVl << " bits); runs are not comparable";
+      unusable(Msg.str());
+      return false;
+    }
     if (!Base.find("cells") || !Base.find("cells")->isArray() ||
         !Cur.find("cells") || !Cur.find("cells")->isArray()) {
       unusable("cells: missing array in one of the inputs");

@@ -161,6 +161,10 @@ const OooCore::DecodedSim &OooCore::decoded(const emu::DynInstr &DI) {
   D.IsLoad = I.isLoad();
   D.IsStore = I.isStore();
   D.IsMemory = I.isMemory();
+  // Vector-unit (non-memory) ops occupy the 512-bit datapath once per
+  // native slice: a 1024-bit configuration double-pumps, 2048-bit
+  // quad-pumps. Memory ops are handled per address below.
+  D.IsVecAlu = T.Port == PortKind::Vec && I.isVector() && !D.IsMemory;
   for (Reg R : {I.Src1, I.Src2, I.Src3})
     if (R.isValid())
       D.WaitIds[D.NumWaits++] = static_cast<uint8_t>(regId(R));
@@ -235,9 +239,14 @@ void OooCore::step(const emu::DynInstr &DI) {
       UopDesc MemU{PortKind::Load, D.Latency, First, 0};
       Complete = issueUop<true, false>(MemU, SrcReady, DI.InstrIdx);
       if ((Last >> 6) != (First >> 6)) {
-        // The access straddles a line: if the second line is slower than
-        // the first, the result waits for it.
-        unsigned Extra = Mem.accessLatency(Last, DI.InstrIdx);
+        // The access spans multiple lines (a straddling access, or a wide
+        // VL whose contiguous block covers several): the result waits for
+        // the slowest of the extra lines. A two-line access touches only
+        // the trailing address, exactly the historical straddle charge.
+        unsigned Extra = 0;
+        for (uint64_t Line = (First >> 6) + 1; Line < (Last >> 6); ++Line)
+          Extra = std::max(Extra, Mem.accessLatency(Line << 6, DI.InstrIdx));
+        Extra = std::max(Extra, Mem.accessLatency(Last, DI.InstrIdx));
         if (Extra > Cfg.L1D.LatencyCycles)
           Complete += Extra - Cfg.L1D.LatencyCycles;
       }
@@ -247,9 +256,13 @@ void OooCore::step(const emu::DynInstr &DI) {
     }
   } else {
     // Non-memory: FixedUops micro-ops on the unit; the result is ready
-    // Latency cycles after the first issues.
+    // Latency cycles after the first issues. Vector ALU ops wider than the
+    // 512-bit datapath issue one slice-uop group per native slice.
+    unsigned Uops = D.FixedUops;
+    if (D.IsVecAlu && DI.VecBytes > 64)
+      Uops *= DI.VecBytes / 64;
     uint64_t FirstDone = 0;
-    for (unsigned U = 0; U < D.FixedUops; ++U) {
+    for (unsigned U = 0; U < Uops; ++U) {
       UopDesc Desc{D.Port, U == 0 ? D.Latency : 1u};
       uint64_t Done = issueUop<false, false>(Desc, SrcReady, DI.InstrIdx);
       if (U == 0)
@@ -308,12 +321,16 @@ void OooCore::warmBatch(const emu::DynInstr *Batch, size_t N) {
         Mem.accessLatency(DI.MemAddrs[A], DI.InstrIdx);
     } else if (DI.NumMemAddrs) {
       // Same line-touch pattern as the detailed scalar path: the first
-      // address, plus the second line of a straddling access.
+      // address, interior lines of a wide contiguous access, then the
+      // trailing line of a straddling access.
       uint64_t First = DI.MemAddrs[0];
       uint64_t Last = DI.MemAddrs[DI.NumMemAddrs - 1];
       Mem.accessLatency(First, DI.InstrIdx);
-      if ((Last >> 6) != (First >> 6))
+      if ((Last >> 6) != (First >> 6)) {
+        for (uint64_t Line = (First >> 6) + 1; Line < (Last >> 6); ++Line)
+          Mem.accessLatency(Line << 6, DI.InstrIdx);
         Mem.accessLatency(Last, DI.InstrIdx);
+      }
     }
   }
 }

@@ -134,6 +134,7 @@ private:
     uint8_t FixedUops = 1;
     uint8_t LanesPerMemUop = 0;
     bool Skip = false;             ///< Untimed (halt / nop).
+    bool IsVecAlu = false;         ///< Vector-unit op; uops scale with VL.
     bool SerializesRetire = false; ///< XBEGIN/XEND store-buffer drain.
     bool IsXAbort = false;
     bool IsCondBranch = false;

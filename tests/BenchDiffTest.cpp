@@ -215,6 +215,30 @@ TEST(BenchDiff, DifferentSweepConfigurationIsNotComparable) {
   EXPECT_EQ(diff(Base, Cur2).ExitCode, 2);
 }
 
+TEST(BenchDiff, DifferentVectorLengthIsNotComparable) {
+  // Payloads produced at different VLs are different experiments: exit 2
+  // (config mismatch), never spurious per-cell regressions.
+  Json Base = makeBench(BaseCells);
+  Json Cur = makeBench(BaseCells);
+  Cur.set("vl", uint64_t(256));
+  obs::BenchDiffReport R = diff(Base, Cur);
+  EXPECT_EQ(R.ExitCode, 2);
+  ASSERT_FALSE(R.Regressions.empty());
+  EXPECT_NE(R.Regressions[0].find("vl"), std::string::npos)
+      << R.Regressions[0];
+
+  // An absent key means the 512-bit default, so spelling it out is not a
+  // mismatch — old baselines stay comparable with current default runs.
+  Json Cur512 = makeBench(BaseCells);
+  Cur512.set("vl", uint64_t(512));
+  EXPECT_EQ(diff(Base, Cur512).ExitCode, 0);
+
+  // Two non-default documents at the same width compare normally.
+  Json Base256 = makeBench(BaseCells);
+  Base256.set("vl", uint64_t(256));
+  EXPECT_EQ(diff(Base256, Cur).ExitCode, 0);
+}
+
 //===----------------------------------------------------------------------===//
 // Binary layer: the CI bench-gate invocation path
 //===----------------------------------------------------------------------===//
@@ -285,6 +309,18 @@ TEST_F(BenchDiffBinary, SchemaMismatchExitsTwo) {
   CmdResult R = run(BenchDiffBin + " " + A + " " + B);
   EXPECT_EQ(R.Exit, 2) << R.Output;
   EXPECT_NE(R.Output.find("schema"), std::string::npos) << R.Output;
+}
+
+TEST_F(BenchDiffBinary, VectorLengthMismatchExitsTwo) {
+  Json Wide = makeBench(BaseCells);
+  Wide.set("vl", uint64_t(1024));
+  std::string A = file("base", makeBench(BaseCells));
+  std::string B = file("vl1024", Wide);
+  CmdResult R = run(BenchDiffBin + " " + A + " " + B);
+  EXPECT_EQ(R.Exit, 2) << R.Output;
+  EXPECT_NE(R.Output.find("vl"), std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find("REGRESSION"), std::string::npos)
+      << "a VL mismatch must not be reported as a regression:\n" << R.Output;
 }
 
 TEST_F(BenchDiffBinary, UnreadableAndMalformedInputsExitTwo) {

@@ -66,6 +66,30 @@ TEST(CliSmoke, MalformedNumericFlagsRejected) {
   expectRejected(Cli + " --tx-abort-prob=1.5 " + Argmin, "--tx-abort-prob");
 }
 
+TEST(CliSmoke, MalformedVlRejected) {
+  // The --vl contract mirrors --sim-mode: non-power-of-two, out-of-range,
+  // and malformed values all exit 2 with a usage hint.
+  expectRejected(Cli + " --vl=abc " + Argmin, "--vl");
+  expectRejected(Cli + " --vl= " + Argmin, "--vl");
+  expectRejected(Cli + " --vl=384 " + Argmin, "--vl");
+  expectRejected(Cli + " --vl=64 " + Argmin, "--vl");
+  expectRejected(Cli + " --vl=4096 " + Argmin, "--vl");
+}
+
+TEST(CliSmoke, ValidVlRunSucceeds) {
+  for (const char *Vl : {"128", "256", "512", "1024", "2048"}) {
+    CmdResult R =
+        run(Cli + " " + Argmin + " --trip=64 --vl=" + Vl + " --run");
+    EXPECT_EQ(R.Exit, 0) << "--vl=" << Vl << "\n" << R.Output;
+  }
+}
+
+TEST(CliSmoke, PredicatedRunSucceeds) {
+  CmdResult R = run(Cli + " " + Argmin +
+                    " --trip=64 --vl=256 --predicated --run");
+  EXPECT_EQ(R.Exit, 0) << R.Output;
+}
+
 TEST(CliSmoke, MalformedSetRejected) {
   expectRejected(Cli + " --set=foo " + Argmin, "--set");
   expectRejected(Cli + " --set==7 " + Argmin, "--set");
@@ -139,6 +163,14 @@ TEST(BenchSmoke, BadSimModeRejected) {
   expectRejected(Bench + " --sim-mode=warp", "--sim-mode");
   expectRejected(Bench + " --sim-mode=", "--sim-mode");
   expectRejected(Bench + " --sim-mode=FULL", "--sim-mode");
+}
+
+TEST(BenchSmoke, MalformedVlRejected) {
+  expectRejected(Bench + " --vl=abc", "--vl");
+  expectRejected(Bench + " --vl=", "--vl");
+  expectRejected(Bench + " --vl=384", "--vl");
+  expectRejected(Bench + " --vl=64", "--vl");
+  expectRejected(Bench + " --vl=4096", "--vl");
 }
 
 TEST(BenchSmoke, MalformedSamplingFlagsRejected) {

@@ -39,8 +39,13 @@ std::string readFile(const std::string &Path, bool *Ok = nullptr) {
 }
 
 /// Renders the full five-variant compilation of one loop as stable text.
+/// The goldens freeze the 512-bit artifacts, so the width is pinned here:
+/// a FLEXVEC_VL override (the CI width leg) must not reinterpret them.
 std::string renderGolden(const ir::LoopFunction &F) {
-  core::PipelineResult PR = core::compileLoop(F, /*RtmTile=*/64);
+  driver::DriverOptions Opts;
+  Opts.RtmTile = 64;
+  Opts.Vec = isa::VectorConfig();
+  core::PipelineResult PR = driver::compileLoop(F, Opts);
   std::ostringstream Out;
   Out << "# Golden compilation of '" << F.name() << "'. Regenerate with\n"
       << "#   FLEXVEC_UPDATE_GOLDEN=1 ./build/tests/codegen_golden_test\n"

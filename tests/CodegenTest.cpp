@@ -205,7 +205,12 @@ TEST(Codegen, SpeculativeGeneratorDeclinesUnsupportedShapes) {
 
 TEST(Codegen, NotesDescribeTheBuild) {
   auto F = workloads::buildH264Loop();
-  core::PipelineResult PR = core::compileLoop(*F, /*RtmTile=*/256);
+  // "VL=16" is the 512-bit / 4-byte-lane count: pin the width so a
+  // FLEXVEC_VL override doesn't change the expected notes text.
+  driver::DriverOptions DOpts;
+  DOpts.RtmTile = 256;
+  DOpts.Vec = isa::VectorConfig();
+  core::PipelineResult PR = driver::compileLoop(*F, DOpts);
   EXPECT_NE(PR.FlexVec->Notes.find("VL=16"), std::string::npos);
   EXPECT_NE(PR.Rtm->Notes.find("tile=256"), std::string::npos);
   EXPECT_EQ(PR.FlexVec->Kind, codegen::CodeGenKind::FlexVec);

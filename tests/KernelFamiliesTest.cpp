@@ -36,6 +36,16 @@ using workloads::Benchmark;
 
 namespace {
 
+/// The family goldens (remarks + disassembly) freeze the 512-bit
+/// compilation, so the width is pinned against FLEXVEC_VL overrides.
+core::PipelineResult compileAt512(const ir::LoopFunction &F,
+                                  unsigned RtmTile) {
+  driver::DriverOptions Opts;
+  Opts.RtmTile = RtmTile;
+  Opts.Vec = isa::VectorConfig();
+  return driver::compileLoop(F, Opts);
+}
+
 std::string readFile(const std::string &Path, bool *Ok = nullptr) {
   std::ifstream In(Path);
   if (Ok)
@@ -155,7 +165,7 @@ TEST_F(KernelFamilies, PolyRowsGenerateTraditional) {
   for (const Benchmark &B : rows()) {
     if (B.Group != "POLY")
       continue;
-    core::PipelineResult PR = core::compileLoop(*B.F, /*RtmTile=*/64);
+    core::PipelineResult PR = compileAt512(*B.F, /*RtmTile=*/64);
     ASSERT_TRUE(PR.Plan.Vectorizable) << B.Name << ": " << PR.Plan.Reason;
     if (B.Kind == workloads::KernelKind::Affine) {
       EXPECT_TRUE(PR.Traditional.has_value())
@@ -171,7 +181,7 @@ TEST_F(KernelFamilies, PolyRowsGenerateTraditional) {
 // rows) must never demote — and must still stay bit-exact.
 TEST_F(KernelFamilies, StormDemotionMatchesAbortActivity) {
   for (const Benchmark &B : rows()) {
-    core::PipelineResult PR = core::compileLoop(*B.F, /*RtmTile=*/64);
+    core::PipelineResult PR = compileAt512(*B.F, /*RtmTile=*/64);
     if (!PR.Adaptive)
       continue;
     Rng R(deriveStreamSeed(77, fnv1a64(B.Name)));
@@ -207,7 +217,7 @@ TEST_F(KernelFamilies, StormDemotionMatchesAbortActivity) {
 
 TEST_F(KernelFamilies, RemarksMatchGolden) {
   for (const Benchmark &B : rows()) {
-    core::PipelineResult PR = core::compileLoop(*B.F, /*RtmTile=*/64);
+    core::PipelineResult PR = compileAt512(*B.F, /*RtmTile=*/64);
     checkGolden(std::string(FLEXVEC_SOURCE_DIR) + "/tests/golden/families/" +
                     sanitized(B.Name) + ".remarks.json",
                 PR.Remarks.toJson().dump());
@@ -216,7 +226,7 @@ TEST_F(KernelFamilies, RemarksMatchGolden) {
 
 TEST_F(KernelFamilies, FlexVecDisassemblyMatchesGolden) {
   for (const Benchmark &B : rows()) {
-    core::PipelineResult PR = core::compileLoop(*B.F, /*RtmTile=*/64);
+    core::PipelineResult PR = compileAt512(*B.F, /*RtmTile=*/64);
     ASSERT_TRUE(PR.FlexVec) << B.Name;
     checkGolden(std::string(FLEXVEC_SOURCE_DIR) + "/tests/golden/families/" +
                     sanitized(B.Name) + ".flexvec.s",

@@ -184,6 +184,36 @@ TEST(CompileCache, KeyDependsOnRtmTile) {
   EXPECT_EQ(Cache.size(), 2u);
 }
 
+// Since pipeline version 5 the vector width and the predicated-lowering
+// flag are part of the key: one cache must serve a mixed-width sweep
+// (the bench's 512-vs-VL comparison axis) without collisions.
+TEST(CompileCache, KeyDependsOnVectorConfigAndPredication) {
+  ir::ParseResult P = ir::parseLoop(ArgminDsl);
+  ASSERT_TRUE(P) << P.Error;
+  const isa::VectorConfig At512, At256(32);
+  EXPECT_NE(core::CompileCache::keyFor(*P.F, 64, At512),
+            core::CompileCache::keyFor(*P.F, 64, At256));
+  EXPECT_NE(core::CompileCache::keyFor(*P.F, 64, At512, false),
+            core::CompileCache::keyFor(*P.F, 64, At512, true));
+
+  core::CompileCache Cache;
+  bool Hit = true;
+  Cache.getOrCompile(*P.F, 64, &Hit, At512);
+  EXPECT_FALSE(Hit);
+  Cache.getOrCompile(*P.F, 64, &Hit, At256);
+  EXPECT_FALSE(Hit) << "different vector width must compile separately";
+  Cache.getOrCompile(*P.F, 64, &Hit, At256, /*Predicated=*/true);
+  EXPECT_FALSE(Hit) << "predicated lowering must compile separately";
+  Cache.getOrCompile(*P.F, 64, &Hit, At256);
+  EXPECT_TRUE(Hit) << "same (tile, width, mode) must hit";
+  EXPECT_EQ(Cache.size(), 3u);
+
+  // The compiled vector program actually carries the requested width.
+  auto PR = Cache.getOrCompile(*P.F, 64, &Hit, At256);
+  ASSERT_TRUE(PR->FlexVec.has_value());
+  EXPECT_EQ(PR->FlexVec->Prog.vectorBytes(), 32u);
+}
+
 TEST(CompileCache, ConcurrentRequestsCompileOnce) {
   ir::ParseResult P = ir::parseLoop(ArgminDsl);
   ASSERT_TRUE(P) << P.Error;

@@ -510,7 +510,13 @@ TEST_P(PipelineEquivalence, DriverMatchesLegacyGenerators) {
     ASSERT_TRUE(P) << C.Name << ": " << P.Error;
     const ir::LoopFunction &F = *P.F;
 
-    core::PipelineResult PR = core::compileLoop(F, RtmTile);
+    // Pinned to the 512-bit width: the frozen legacy generators emit at
+    // the isa::VectorBytes constant, so a FLEXVEC_VL override would
+    // compare programs built for different widths.
+    driver::DriverOptions DOpts;
+    DOpts.RtmTile = RtmTile;
+    DOpts.Vec = isa::VectorConfig();
+    core::PipelineResult PR = driver::compileLoop(F, DOpts);
 
     // Legacy path: analysis exactly as the old core/Pipeline.cpp ran it.
     pdg::Pdg G(F);

@@ -23,6 +23,13 @@
 //     --sample-interval=N / --sample-detail=N / --sample-warmup=N /
 //     --sample-seed=N sampling regimen (defaults 25000/10000/3000/1);
 //                     only meaningful with --sim-mode=sampled
+//     --vl=BITS       vector width every cell compiles and runs at: 128,
+//                     256, 512, 1024, or 2048 bits (default: FLEXVEC_VL,
+//                     else 512). A non-default width also runs the
+//                     fixed-512 reference sweep and emits per-workload
+//                     width-comparison rows (table + "width_compare" in
+//                     the JSON); the payload then carries a "vl" field
+//                     and is not comparable against the 512-bit baseline
 //     --deterministic omit wall-time fields from the JSON (byte-stable
 //                     across worker counts and machines)
 //     --quiet         suppress the human-readable table
@@ -30,7 +37,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
+#include "isa/Reg.h"
 #include "support/ArgParse.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "workloads/Figure8.h"
 
@@ -56,7 +65,7 @@ void usage(std::FILE *To) {
                "[--trips=N] [--out=PATH] [--fault-seed=N] "
                "[--sim-mode=full|sampled] [--sample-interval=N] "
                "[--sample-detail=N] [--sample-warmup=N] [--sample-seed=N] "
-               "[--deterministic] [--quiet]\n");
+               "[--vl=128|256|512|1024|2048] [--deterministic] [--quiet]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
@@ -146,6 +155,15 @@ bool parseArgs(int Argc, char **Argv, BenchOptions &Opts) {
         return false;
       }
       Opts.Sweep.Sample.Seed = U;
+    } else if (Arg.rfind("--vl=", 0) == 0) {
+      if (!parseUInt(Arg.substr(5), U) ||
+          !isa::VectorConfig::isValidBits(static_cast<unsigned>(U))) {
+        std::fprintf(stderr, "error: --vl expects a power-of-two vector "
+                             "length in bits between 128 and 2048, got "
+                             "'%s'\n", Arg.c_str());
+        return false;
+      }
+      Opts.Sweep.Vec = isa::VectorConfig(static_cast<unsigned>(U) / 8);
     } else if (Arg.rfind("--out=", 0) == 0) {
       Opts.OutPath = Arg.substr(6);
       if (Opts.OutPath.empty()) {
@@ -180,6 +198,17 @@ int main(int Argc, char **Argv) {
       workloads::buildFigure8Suite(Opts.Sweep.Scale);
   core::SweepResult R = core::runSweep(Suite.Workloads, Opts.Sweep, &Cache);
 
+  // Width sweep axis: at a non-default VL, also run the fixed-512
+  // reference sweep so the output carries 512-vs-requested comparison
+  // rows. The cache keeps the two widths apart (VL is part of the key).
+  bool HaveRef = Opts.Sweep.Vec.Bytes != isa::VectorBytes;
+  core::SweepResult Ref;
+  if (HaveRef) {
+    core::SweepOptions RefOpts = Opts.Sweep;
+    RefOpts.Vec = isa::VectorConfig(); // the fixed 512-bit reference
+    Ref = core::runSweep(Suite.Workloads, RefOpts, &Cache);
+  }
+
   if (!Opts.Quiet) {
     std::printf("Figure 8 / Table 2 sweep: %zu cells, %u worker(s), "
                 "%.2fs wall\n\n",
@@ -209,6 +238,27 @@ int main(int Argc, char **Argv) {
                 TextTable::fmt(Geo.second, 3) + "x", "-", ""});
     }
     T.print();
+    if (HaveRef) {
+      std::printf("\nwidth sweep: flexvec at %u-bit vs the fixed 512-bit "
+                  "reference\n\n", R.Vec.bits());
+      TextTable WT({"benchmark", "cycles@512",
+                    "cycles@" + std::to_string(R.Vec.bits()), "ratio"});
+      for (size_t W = 0; W < Suite.Workloads.size(); ++W) {
+        size_t I = W * core::NumVariants +
+                   static_cast<size_t>(core::VariantId::FlexVec);
+        const core::CellResult &Cur = R.Cells[I];
+        const core::CellResult &R512 = Ref.Cells[I];
+        if (!Cur.Generated || !R512.Generated || !Cur.Cycles)
+          continue;
+        WT.addRow({Cur.Benchmark,
+                   TextTable::fmtInt(static_cast<long long>(R512.Cycles)),
+                   TextTable::fmtInt(static_cast<long long>(Cur.Cycles)),
+                   TextTable::fmt(static_cast<double>(R512.Cycles) /
+                                      static_cast<double>(Cur.Cycles),
+                                  2) + "x"});
+      }
+      WT.print();
+    }
     std::printf("\ncompile cache: %llu hits, %llu misses (%.1f%% hit rate)\n",
                 static_cast<unsigned long long>(R.CacheHits),
                 static_cast<unsigned long long>(R.CacheMisses),
@@ -247,7 +297,30 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: cannot write '%s'\n", Opts.OutPath.c_str());
     return 2;
   }
-  Out << core::benchJson(R, Opts.Deterministic).dump();
+  Json Doc = core::benchJson(R, Opts.Deterministic);
+  if (HaveRef) {
+    // Fixed-512-vs-requested-width comparison rows, flexvec column only.
+    // Additive: present only when the payload already carries a "vl"
+    // field, so the default 512-bit document is untouched.
+    Json Rows = Json::array();
+    for (size_t W = 0; W < Suite.Workloads.size(); ++W) {
+      size_t I = W * core::NumVariants +
+                 static_cast<size_t>(core::VariantId::FlexVec);
+      const core::CellResult &Cur = R.Cells[I];
+      const core::CellResult &R512 = Ref.Cells[I];
+      if (!Cur.Generated || !R512.Generated || !Cur.Cycles)
+        continue;
+      Json Row = Json::object();
+      Row.set("benchmark", Cur.Benchmark);
+      Row.set("cycles_512", R512.Cycles);
+      Row.set("cycles_vl", Cur.Cycles);
+      Row.set("speedup_vs_512", static_cast<double>(R512.Cycles) /
+                                    static_cast<double>(Cur.Cycles));
+      Rows.push(std::move(Row));
+    }
+    Doc.set("width_compare", std::move(Rows));
+  }
+  Out << Doc.dump();
   if (!Opts.Quiet)
     std::printf("wrote %s\n", Opts.OutPath.c_str());
   return Incorrect ? 1 : 0;

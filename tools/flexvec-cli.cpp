@@ -20,6 +20,12 @@
 //     --seed=N            PRNG seed for --run (default 1)
 //     --arraysize=N       elements per array for --run (default 65536)
 //     --set NAME=V        initial value for scalar NAME (repeatable)
+//     --vl=BITS           vector width to compile for: 128, 256, 512,
+//                         1024, or 2048 bits (default: FLEXVEC_VL, else
+//                         512)
+//     --predicated        SVE-style predicated loop control (whilelt
+//                         masks instead of the broadcast/vcmp chunk
+//                         bound)
 //
 //   Unknown flags and malformed values exit with status 2 and a usage
 //   hint; numeric values must parse in full (no atoll-style truncation).
@@ -78,6 +84,8 @@ struct CliOptions {
   int64_t ArraySize = 65536;
   std::map<std::string, double> Sets;
   core::FaultPlan Faults;
+  isa::VectorConfig Vec = isa::defaultVectorConfig();
+  bool Predicated = false;
 };
 
 void usage(std::FILE *To) {
@@ -89,7 +97,8 @@ void usage(std::FILE *To) {
                "[--fault-nth=N] [--fault-range=LO:HI:PROB[:DUR]] "
                "[--tx-abort-nth=N] [--tx-abort-prob=P] "
                "[--tx-abort-reason=R] [--rtm-retries=N] "
-               "[--rtm-retry-budget=N] [--budget=N]\n");
+               "[--rtm-retry-budget=N] [--budget=N] "
+               "[--vl=128|256|512|1024|2048] [--predicated]\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -188,6 +197,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!parseUInt(Arg.substr(9), U) || U == 0)
         return badValue(Arg, "a positive integer");
       Opts.Faults.MaxInstructions = U;
+    } else if (Arg.rfind("--vl=", 0) == 0) {
+      if (!parseUInt(Arg.substr(5), U) ||
+          !isa::VectorConfig::isValidBits(static_cast<unsigned>(U)))
+        return badValue(Arg, "a power-of-two vector length in bits "
+                             "between 128 and 2048");
+      Opts.Vec = isa::VectorConfig(static_cast<unsigned>(U) / 8);
+    } else if (Arg == "--predicated") {
+      Opts.Predicated = true;
     } else if (Arg == "--set") {
       if (A + 1 >= Argc) {
         std::fprintf(stderr, "error: --set expects a NAME=VALUE argument\n");
@@ -400,15 +417,19 @@ int main(int Argc, char **Argv) {
   // Machine-readable mode: emit only the remark stream so the output pipes
   // straight into tooling (the stream is deterministic JSON, see
   // docs/COMPILER.md for the schema).
+  driver::DriverOptions DOpts;
+  DOpts.Vec = Opts.Vec;
+  DOpts.Predicated = Opts.Predicated;
+
   if (Opts.RemarksJson) {
-    core::PipelineResult PR = core::compileLoop(F);
+    core::PipelineResult PR = driver::compileLoop(F, DOpts);
     std::fputs(PR.Remarks.toJson().dump().c_str(), stdout);
     return 0;
   }
 
   std::printf("== Parsed loop ==\n%s\n", F.print().c_str());
 
-  core::PipelineResult PR = core::compileLoop(F);
+  core::PipelineResult PR = driver::compileLoop(F, DOpts);
   if (Opts.DumpPdg)
     std::printf("== PDG ==\n%s\n", PR.PdgDump.c_str());
   std::printf("== Analysis ==\n%s\n\n", PR.Plan.describe(F).c_str());
